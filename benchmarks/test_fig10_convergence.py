@@ -1,0 +1,44 @@
+"""Figure 10: convergence rate — rounds to reach a common target accuracy.
+
+Paper setup: per dataset × partition, the number of communication rounds
+each method needs to reach the minimum of the methods' best accuracies;
+e.g. on CIFAR-100/CE/10 clients FedAvg and FedProx took 1.16x and 1.2x
+FedDRL's rounds.  Shape to reproduce: every method reaches the common
+target, and FedDRL's relative round count is not pathologically worse
+than the baselines' ("always converges as fast as the fastest").
+"""
+
+import pytest
+
+from repro.harness.convergence import convergence_table
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("dataset,partition", [
+    ("cifar100", "CE"),
+    ("fashion", "CN"),
+    ("mnist", "PA"),
+])
+def test_fig10_convergence_rate(benchmark, once, dataset, partition):
+    out = once(
+        benchmark,
+        convergence_table,
+        dataset=dataset,
+        partition=partition,
+        methods=("fedavg", "fedprox", "feddrl"),
+        scale="bench",
+        n_clients=10,
+        rounds=60,
+        seed=0,
+    )
+    print(f"\nFigure 10 ({dataset}, {partition}) — target acc {out['target']:.3f}")
+    for method in ("fedavg", "fedprox", "feddrl"):
+        rel = out["relative"][method]
+        rel_text = f"{rel:.2f}x" if rel is not None else "never"
+        print(f"  {method:<8} rounds={out['rounds'][method]} relative={rel_text}")
+
+    # The target is the min of best accuracies, so every method reaches it.
+    assert all(r is not None for r in out["rounds"].values())
+    # FedDRL is not pathologically slower (>4x) than the fastest method.
+    fastest = min(out["rounds"].values())
+    assert out["rounds"]["feddrl"] <= 4 * max(fastest, 1) + 5

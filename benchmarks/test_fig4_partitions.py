@@ -1,0 +1,48 @@
+"""Figure 4: illustration of the PA / CE / CN partitioning methods.
+
+Regenerates the label×client sample-count matrices behind the paper's
+bubble plots (10 clients, 10 labels) and checks each scheme's defining
+structure: PA's power-law quantity skew, CE's equal quantities with
+cluster-disjoint labels, CN's cluster structure plus quantity skew.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import cluster_assignment, gini
+from repro.harness.figures import partition_figure
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_partition_matrices(benchmark, once):
+    def build_all():
+        return {
+            "PA": partition_figure("PA", n_clients=10, num_classes=10, n_samples=5000),
+            "CE": partition_figure("CE", n_clients=10, num_classes=10, n_samples=5000, delta=0.6),
+            "CN": partition_figure("CN", n_clients=10, num_classes=10, n_samples=5000, delta=0.6),
+        }
+
+    figs = once(benchmark, build_all)
+    for name, fig in figs.items():
+        print(f"\nFigure 4({name}) — label x client sample counts")
+        print(fig["ascii"])
+
+    # PA: label-size imbalance (<=2 labels/client) + quantity imbalance.
+    pa = figs["PA"]["matrix"]
+    assert np.all((pa > 0).sum(axis=0) <= 2)
+    assert gini(pa.sum(axis=0)) > 0.1
+
+    # CE: clustered + equal quantity.
+    ce = figs["CE"]["matrix"]
+    sizes = ce.sum(axis=0)
+    assert sizes.min() == sizes.max()
+    assignment = cluster_assignment(10, 0.6, 3)
+    main = np.flatnonzero(assignment == 0)
+    rest = np.flatnonzero(assignment != 0)
+    main_labels = set(np.flatnonzero(ce[:, main].sum(axis=1) > 0).tolist())
+    rest_labels = set(np.flatnonzero(ce[:, rest].sum(axis=1) > 0).tolist())
+    assert not (main_labels & rest_labels)
+
+    # CN: clustered + quantity imbalance.
+    cn = figs["CN"]["matrix"]
+    assert gini(cn.sum(axis=0)) > gini(ce.sum(axis=0))

@@ -1,0 +1,39 @@
+"""Figure 5: top-1 test accuracy vs communication round, per FL method.
+
+Paper setup: accuracy timelines over 1000 rounds for every dataset ×
+partition panel.  Bench setup: one representative panel per dataset
+(CE partition, 60 rounds).  Shape to reproduce: all methods improve over
+rounds, and FedDRL's curve tracks the baselines (the paper smooths
+Fashion-MNIST over 10 rounds; we print the smoothed tail too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import accuracy_timeline, smooth_series
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("dataset", ["cifar100", "fashion"])
+def test_fig5_accuracy_timeline(benchmark, once, dataset):
+    series = once(
+        benchmark,
+        accuracy_timeline,
+        dataset=dataset,
+        partition="CE",
+        methods=("fedavg", "fedprox", "feddrl"),
+        scale="bench",
+        n_clients=10,
+        rounds=60,
+        seed=0,
+    )
+    print(f"\nFigure 5 ({dataset}, CE) — accuracy by round (every 10th)")
+    for method, pts in series.items():
+        smoothed = smooth_series(pts, window=10)
+        line = "  ".join(f"r{r}:{v:.2f}" for r, v in smoothed[::10])
+        print(f"  {method:<8} {line}")
+
+    for method, pts in series.items():
+        accs = np.array([v for _, v in pts])
+        # Learning happened: late accuracy beats early accuracy.
+        assert accs[-10:].mean() > accs[:5].mean(), method

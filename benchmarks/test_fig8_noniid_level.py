@@ -1,0 +1,39 @@
+"""Figure 8: testing accuracy vs the non-IID level delta.
+
+Paper setup: Fashion-MNIST, 100 clients, CE partition, delta in
+{0.2, 0.4, 0.6}: "increasing the non-IID level negatively affects the
+testing accuracy for all the FL methods", with FedDRL mitigating the
+drop.  Bench setup: N=20, same deltas.  Shape to reproduce: accuracy at
+delta=0.6 <= accuracy at delta=0.2 (plus noise margin) for the baselines,
+and FedDRL >= (1 - margin) * best baseline at the highest delta.
+"""
+
+import pytest
+
+from repro.harness.figures import noniid_sweep
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_noniid_level(benchmark, once):
+    out = once(
+        benchmark,
+        noniid_sweep,
+        deltas=(0.2, 0.4, 0.6),
+        dataset="fashion",
+        partition="CE",
+        n_clients=20,
+        methods=("fedavg", "fedprox", "feddrl"),
+        scale="bench",
+        rounds=60,
+        seed=0,
+    )
+    print("\nFigure 8 — best accuracy vs non-IID level delta (fashion, CE)")
+    for delta in sorted(out):
+        row = "  ".join(f"{m}:{v:.3f}" for m, v in out[delta].items())
+        print(f"  delta={delta:<4} {row}")
+
+    # Higher bias should not *help* the baselines.
+    assert out[0.6]["fedavg"] <= out[0.2]["fedavg"] + 0.1
+    # FedDRL competitive at the highest bias level.
+    best_baseline = max(out[0.6]["fedavg"], out[0.6]["fedprox"])
+    assert out[0.6]["feddrl"] >= 0.9 * best_baseline

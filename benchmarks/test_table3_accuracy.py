@@ -1,0 +1,56 @@
+"""Table 3: top-1 test accuracy across datasets × partitions × methods.
+
+Paper setup: 3 datasets × {PA, CE, CN} × {10, 100} clients × {SingleSet,
+FedAvg, FedProx, FedDRL}, delta=0.6, 1000 rounds.  Bench setup: the same
+grid shape at the ``bench`` scale (synthetic stand-ins, 10 clients plus a
+reduced 30-client slice standing in for the 100-client column, 60 rounds).
+
+Paper shape to reproduce: FedDRL's best accuracy is >= the baselines'
+(within seed noise at this scale), and SingleSet upper-bounds everyone on
+the harder datasets.
+"""
+
+import pytest
+
+from repro.harness.tables import format_accuracy_table, table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_10_clients(benchmark, once):
+    results = once(
+        benchmark,
+        table3,
+        scale="bench",
+        datasets=("cifar100", "fashion", "mnist"),
+        partitions=("PA", "CE", "CN"),
+        client_counts=(10,),
+        seed=0,
+        rounds=60,
+    )
+    print()
+    print(format_accuracy_table(results, "Table 3 — 10 clients (bench scale)"))
+    for ds, by_part in results[10].items():
+        for part, cell in by_part.items():
+            assert all(0.0 <= v <= 1.0 for v in cell.values()), (ds, part)
+            # Shape check: FedDRL within 10% (relative) of the best baseline.
+            best_baseline = max(cell["fedavg"], cell["fedprox"])
+            assert cell["feddrl"] >= 0.9 * best_baseline, (ds, part, cell)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_many_clients(benchmark, once):
+    """The paper's 100-client column, scaled to N=30, K=10 for CPU time."""
+    results = once(
+        benchmark,
+        table3,
+        scale="bench",
+        datasets=("cifar100",),
+        partitions=("PA", "CE", "CN"),
+        client_counts=(30,),
+        seed=0,
+        rounds=60,
+    )
+    print()
+    print(format_accuracy_table(results, "Table 3 — 30 clients (bench scale)"))
+    for part, cell in results[30]["cifar100"].items():
+        assert all(0.0 <= v <= 1.0 for v in cell.values()), part

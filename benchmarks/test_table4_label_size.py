@@ -1,0 +1,30 @@
+"""Table 4: label-size-imbalance non-IID (FedAvg's Equal / Non-equal shards).
+
+Paper setup: CIFAR-100, shard-based Equal and Non-equal splits, {10, 100}
+clients.  Shape to reproduce: all methods degrade relative to SingleSet,
+and FedDRL tracks (or exceeds) the best federated baseline — the paper's
+point in Section 5.1 is that the method is not specialised to cluster
+skew.
+"""
+
+import pytest
+
+from repro.harness.tables import format_accuracy_table, table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_label_size_imbalance(benchmark, once):
+    results = once(
+        benchmark,
+        table4,
+        scale="bench",
+        client_counts=(10,),
+        seed=0,
+        rounds=60,
+    )
+    print()
+    print(format_accuracy_table(results, "Table 4 — label-size imbalance (bench scale)"))
+    for part, cell in results[10]["cifar100"].items():
+        assert all(0.0 <= v <= 1.0 for v in cell.values()), part
+        best_baseline = max(cell["fedavg"], cell["fedprox"])
+        assert cell["feddrl"] >= 0.9 * best_baseline, (part, cell)

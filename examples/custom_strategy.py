@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Extending the library: writing a custom aggregation strategy.
+
+The public ``Strategy`` interface needs one method — ``impact_factors`` —
+so alternative weighting rules drop straight into the simulation.  This
+example implements two strategies from the literature the paper discusses:
+
+* ``LossWeighted``: clients whose local data the global model handles
+  badly (high ``l_b``) get *more* weight — a heuristic analogue of the
+  contribution-aware methods [8, 29] cited by the paper.
+* ``InverseCluster``: an oracle that knows the CE cluster assignment and
+  equalises *cluster* influence rather than client influence — the ideal
+  FedDRL should approximate on cluster-skewed data.
+
+Run:  python examples/custom_strategy.py
+"""
+
+from functools import partial
+
+import numpy as np
+
+from repro.data.partition import cluster_assignment, clustered_equal_partition
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_dataset
+from repro.fl.client import ClientUpdate, make_clients
+from repro.fl.simulation import FederatedSimulation, FLConfig
+from repro.fl.strategies import FedAvg, Strategy
+from repro.nn.functional import softmax
+from repro.nn.models import mlp
+
+N_CLIENTS, K, DELTA, N_CLUSTERS = 10, 10, 0.6, 2
+
+
+class LossWeighted(Strategy):
+    """alpha_k ∝ softmax(l_b / temperature): favour under-served clients."""
+
+    name = "loss_weighted"
+
+    def __init__(self, temperature: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def impact_factors(self, updates: list[ClientUpdate], round_idx: int) -> np.ndarray:
+        losses = np.array([u.loss_before for u in updates])
+        return softmax(losses / self.temperature)
+
+
+class InverseCluster(Strategy):
+    """Oracle: every *cluster* gets equal total weight (upper bound)."""
+
+    name = "inverse_cluster"
+
+    def __init__(self, assignment: np.ndarray) -> None:
+        self.assignment = np.asarray(assignment)
+
+    def impact_factors(self, updates: list[ClientUpdate], round_idx: int) -> np.ndarray:
+        groups = self.assignment[[u.client_id for u in updates]]
+        weights = np.empty(len(updates))
+        n_groups = len(np.unique(groups))
+        for g in np.unique(groups):
+            members = groups == g
+            weights[members] = 1.0 / (n_groups * members.sum())
+        return weights / weights.sum()
+
+
+def main() -> None:
+    spec = SyntheticImageSpec(num_classes=8, channels=1, image_size=6, noise=0.8)
+    train, test = make_synthetic_dataset(spec, 800, 300, np.random.default_rng(0))
+    parts = clustered_equal_partition(
+        train.y, N_CLIENTS, np.random.default_rng(1), delta=DELTA, n_clusters=N_CLUSTERS
+    )
+    features = int(np.prod(train.x.shape[1:]))
+    factory = partial(mlp, features, train.num_classes, hidden=(32,))
+    config = FLConfig(rounds=25, clients_per_round=K, local_epochs=2, lr=0.05,
+                      batch_size=16, seed=0)
+    assignment = cluster_assignment(N_CLIENTS, DELTA, N_CLUSTERS)
+
+    strategies = {
+        "fedavg": FedAvg(),
+        "loss_weighted": LossWeighted(temperature=0.5),
+        "cluster_oracle": InverseCluster(assignment),
+    }
+    print(f"CE partition, delta={DELTA}: clients per cluster = "
+          f"{np.bincount(assignment).tolist()}\n")
+    for name, strategy in strategies.items():
+        clients = make_clients(train, parts, seed=2)
+        sim = FederatedSimulation(clients, test, factory, strategy, config)
+        history = sim.run()
+        var_tail = float(np.mean(history.loss_var_series()[-5:]))
+        print(f"{name:>15}: best acc {history.best_accuracy():.3f}, "
+              f"client-loss variance {var_tail:.4f}")
+
+    print("\nThe cluster oracle shows the headroom adaptive weighting has on")
+    print("cluster-skewed data; FedDRL's agent learns toward it without")
+    print("being told the cluster structure.")
+
+
+if __name__ == "__main__":
+    main()

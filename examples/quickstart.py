@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: FedDRL vs FedAvg on cluster-skewed data in ~30 seconds.
+
+Builds a 10-client federation over a synthetic MNIST stand-in partitioned
+with the paper's Clustered-Equal (CE) scheme, trains with FedAvg and with
+FedDRL, and prints the accuracy timeline plus the DRL agent's impact
+factors.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="mnist",          # synthetic MNIST stand-in (no downloads)
+        partition="CE",           # the paper's cluster-skew, delta = 0.6
+        n_clients=10,
+        clients_per_round=10,
+        scale="bench",            # ~1200 samples, 30 communication rounds
+        seed=0,
+    )
+
+    print("=== FedDRL reproduction quickstart ===\n")
+    results = {}
+    for method in ("fedavg", "fedprox", "feddrl"):
+        result = run_experiment(base.with_(method=method))
+        results[method] = result
+        print(f"{method:>8}: best top-1 accuracy {result.best_accuracy:.3f} "
+              f"({result.wall_time_s:.1f}s)")
+
+    print("\nAccuracy by round (every 5th):")
+    for method, result in results.items():
+        series = result.history.accuracy_series()[::5]
+        line = "  ".join(f"r{r}:{v:.2f}" for r, v in series)
+        print(f"  {method:>8}  {line}")
+
+    feddrl = results["feddrl"]
+    last = feddrl.history.records[-1]
+    print("\nFedDRL impact factors in the final round (FedAvg would use "
+          "uniform 0.100 here, since CE equalises sample counts):")
+    print("  " + "  ".join(f"{a:.3f}" for a in last.impact_factors))
+
+    print("\nServer-side timing per round (mean):")
+    print(f"  impact-factor computation: {feddrl.history.mean_impact_time() * 1e3:.2f} ms")
+    print(f"  weighted aggregation:      {feddrl.history.mean_aggregation_time() * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Server-overhead profile (the paper's Figure 9 argument, interactive).
+
+FedDRL's practicality hinges on the server-side costs: the DRL module adds
+one small-MLP inference per round (model-size independent), while the
+weighted aggregation is a single matrix-vector product over the stacked
+client weights (linear in model size).  This script measures both across
+model sizes from "small CNN" to "VGG-11" scale.
+
+Run:  python examples/server_overhead.py
+"""
+
+import numpy as np
+
+from repro.fl.strategies import FedAvg, FedDRL
+from repro.fl.timing import measure_server_overhead, synthetic_updates
+
+MODEL_DIMS = {
+    "simple CNN (~60k)": 60_000,
+    "vgg_mini (~500k)": 500_000,
+    "VGG-11 (~9.2M)": 9_200_000,
+}
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print(f"{'model':<20} {'DRL (ms)':>10} {'aggregation (ms)':>18} {'fedavg (ms)':>12}")
+    for name, dim in MODEL_DIMS.items():
+        updates = synthetic_updates(10, dim, rng)
+        feddrl = FedDRL(clients_per_round=10, seed=0, explore=False,
+                        online_training=False)
+        drl_report = measure_server_overhead(feddrl, updates, repeats=10)
+        avg_report = measure_server_overhead(FedAvg(), updates, repeats=10)
+        print(f"{name:<20} {drl_report.impact_ms:>10.3f} "
+              f"{drl_report.aggregation_ms:>18.3f} {avg_report.impact_ms:>12.4f}")
+
+    print("\nShape to note (paper Fig. 9): the DRL column is flat in model")
+    print("size — the policy only sees 3K losses/sample-counts — while the")
+    print("aggregation column grows linearly and dominates at VGG scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The sandboxed environment has no network and no ``wheel`` package, so the
+PEP 660 editable path (which builds a wheel) is unavailable; this file
+lets setuptools' classic ``develop`` command handle ``pip install -e .``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

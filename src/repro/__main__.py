@@ -1,0 +1,101 @@
+"""Command-line entry point: run one experiment cell from the shell.
+
+Examples::
+
+    python -m repro --dataset mnist --partition CE --method feddrl
+    python -m repro --dataset cifar100 --partition CN --method fedavg \
+        --clients 30 --per-round 10 --rounds 60 --scale bench
+    python -m repro --list            # show the valid grid values
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness.config import (
+    SCALES,
+    VALID_DATASETS,
+    VALID_METHODS,
+    VALID_PARTITIONS,
+    ExperimentConfig,
+)
+from repro.harness.runner import run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FedDRL reproduction: run one dataset x partition x method cell.",
+    )
+    parser.add_argument("--dataset", default="mnist", choices=VALID_DATASETS)
+    parser.add_argument("--partition", default="CE", choices=VALID_PARTITIONS)
+    parser.add_argument("--method", default="feddrl", choices=VALID_METHODS)
+    parser.add_argument("--scale", default="bench", choices=sorted(SCALES))
+    parser.add_argument("--clients", type=int, default=10, help="population size N")
+    parser.add_argument("--per-round", type=int, default=10, help="participants K")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the scale preset's round count")
+    parser.add_argument("--delta", type=float, default=0.6,
+                        help="cluster-skew level for CE/CN")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--pretrain", type=int, default=0,
+                        help="two-stage pretraining rounds per worker (feddrl)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable result")
+    parser.add_argument("--list", action="store_true",
+                        help="print the valid grid values and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print(f"datasets:   {', '.join(VALID_DATASETS)}")
+        print(f"partitions: {', '.join(VALID_PARTITIONS)}")
+        print(f"methods:    {', '.join(VALID_METHODS)}")
+        print(f"scales:     {', '.join(sorted(SCALES))}")
+        return 0
+
+    cfg = ExperimentConfig(
+        dataset=args.dataset,
+        partition=args.partition,
+        method=args.method,
+        n_clients=args.clients,
+        clients_per_round=args.per_round,
+        scale=args.scale,
+        delta=args.delta,
+        seed=args.seed,
+        rounds=args.rounds,
+        drl_pretrain_rounds=args.pretrain,
+    )
+    result = run_experiment(cfg)
+
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "partition": args.partition,
+            "method": args.method,
+            "best_accuracy": result.best_accuracy,
+            "wall_time_s": result.wall_time_s,
+        }
+        if result.history is not None:
+            payload["accuracy_series"] = result.history.accuracy_series()
+            payload["mean_impact_ms"] = result.history.mean_impact_time() * 1e3
+            payload["mean_aggregation_ms"] = result.history.mean_aggregation_time() * 1e3
+        print(json.dumps(payload))
+    else:
+        print(f"{args.method} on {args.dataset}/{args.partition} "
+              f"(N={args.clients}, K={args.per_round}, scale={args.scale}):")
+        print(f"  best top-1 accuracy: {result.best_accuracy:.4f}")
+        print(f"  wall time:           {result.wall_time_s:.1f}s")
+        if result.history is not None:
+            tail = result.history.accuracy_series()[-3:]
+            series = "  ".join(f"r{r}:{v:.3f}" for r, v in tail)
+            print(f"  final rounds:        {series}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""The DDPG agent of Section 3.4 (basic training, Algorithm 1).
+
+The agent maintains four networks — main/target policy and main/target
+value — plus an experience buffer.  One ``train`` call performs the
+paper's "B times updating" loop: TD-prioritised batch sampling, a critic
+regression step toward ``r + gamma * Q'(s', pi'(s'))``, a deterministic
+policy-gradient ascent step on ``Q(s, pi(s))``, and ``rho``-soft target
+updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.drl.action import add_exploration_noise
+from repro.drl.networks import hard_copy, make_policy_network, make_value_network, soft_update
+from repro.drl.replay import Experience, ReplayBuffer
+from repro.nn.optim import Adam
+
+
+@dataclass
+class DRLConfig:
+    """Hyper-parameters of the FedDRL agent (paper Table 1 defaults)."""
+
+    hidden: int = 256
+    policy_lr: float = 1e-4
+    value_lr: float = 1e-3
+    buffer_capacity: int = 100_000
+    gamma: float = 0.99
+    rho: float = 0.02
+    beta: float = 0.5
+    batch_size: int = 32
+    updates_per_round: int = 4
+    min_buffer: int = 32
+    noise_scale: float = 0.2
+    noise_decay: float = 0.995
+    noise_floor: float = 0.01
+    prioritized: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma < 1.0:
+            raise ValueError("gamma must be in [0, 1)")
+        if not 0.0 < self.rho <= 1.0:
+            raise ValueError("rho must be in (0, 1]")
+        if self.batch_size <= 0 or self.updates_per_round <= 0:
+            raise ValueError("batch_size and updates_per_round must be positive")
+        if self.min_buffer < 1:
+            raise ValueError("min_buffer must be >= 1")
+
+
+@dataclass
+class TrainStats:
+    """Diagnostics from one ``train`` call."""
+
+    critic_loss: float
+    actor_q: float
+    updates: int
+    buffer_size: int
+
+
+class DDPGAgent:
+    """Deep deterministic policy gradient agent over (state, action) vectors."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        n_clients: int,
+        config: DRLConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or DRLConfig()
+        self.state_dim = state_dim
+        self.n_clients = n_clients
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        c = self.config
+        self.policy_main = make_policy_network(
+            state_dim, n_clients, self.rng, hidden=c.hidden, beta=c.beta
+        )
+        self.policy_target = make_policy_network(
+            state_dim, n_clients, self.rng, hidden=c.hidden, beta=c.beta
+        )
+        self.value_main = make_value_network(state_dim, n_clients, self.rng, hidden=c.hidden)
+        self.value_target = make_value_network(state_dim, n_clients, self.rng, hidden=c.hidden)
+        hard_copy(self.policy_target, self.policy_main)
+        hard_copy(self.value_target, self.value_main)
+        self.policy_opt = Adam(self.policy_main.parameters(), lr=c.policy_lr)
+        self.value_opt = Adam(self.value_main.parameters(), lr=c.value_lr)
+        self.buffer = ReplayBuffer(c.buffer_capacity)
+        self.noise_scale = c.noise_scale
+        self.total_updates = 0
+
+    # -- acting ---------------------------------------------------------------
+    def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Compute the (possibly noise-perturbed) action for ``state``."""
+        state = np.asarray(state, dtype=float).ravel()
+        if state.shape[0] != self.state_dim:
+            raise ValueError(
+                f"state has {state.shape[0]} entries, expected {self.state_dim}"
+            )
+        action = self.policy_main.forward(state[None, :], training=False)[0]
+        if explore:
+            action = add_exploration_noise(
+                action, self.rng, self.noise_scale, self.config.beta, self.n_clients
+            )
+            self.noise_scale = max(
+                self.config.noise_floor, self.noise_scale * self.config.noise_decay
+            )
+        return action
+
+    def observe(
+        self, state: np.ndarray, action: np.ndarray, reward: float, next_state: np.ndarray
+    ) -> None:
+        """Store one transition in the replay buffer."""
+        self.buffer.add(Experience(state, action, reward, next_state))
+
+    # -- learning ---------------------------------------------------------------
+    def _q(self, net, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        return net.forward(np.concatenate([states, actions], axis=1), training=False).ravel()
+
+    def td_priorities(self) -> np.ndarray:
+        """Algorithm 1 line 1: ``|r + gamma * Q(s', a) - Q(s, a)|`` per item."""
+        s, a, r, s2 = self.buffer.snapshot()
+        q_sa = self._q(self.value_main, s, a)
+        q_s2a = self._q(self.value_main, s2, a)
+        return np.abs(r + self.config.gamma * q_s2a - q_sa)
+
+    def _critic_update(
+        self, s: np.ndarray, a: np.ndarray, r: np.ndarray, s2: np.ndarray
+    ) -> float:
+        c = self.config
+        a2 = self.policy_target.forward(s2, training=False)
+        q_next = self._q(self.value_target, s2, a2)
+        y = r + c.gamma * q_next
+        self.value_main.zero_grad()
+        q = self.value_main.forward(np.concatenate([s, a], axis=1), training=True).ravel()
+        diff = q - y
+        grad = (2.0 * diff / diff.shape[0])[:, None]
+        self.value_main.backward(grad)
+        self.value_opt.step()
+        return float(np.mean(diff**2))
+
+    def _actor_update(self, s: np.ndarray) -> float:
+        self.policy_main.zero_grad()
+        actions = self.policy_main.forward(s, training=True)
+        q_in = np.concatenate([s, actions], axis=1)
+        self.value_main.zero_grad()
+        q = self.value_main.forward(q_in, training=True)
+        # Gradient *ascent* on mean Q == descent on -mean Q.
+        grad_out = np.full_like(q, -1.0 / q.shape[0])
+        grad_in = self.value_main.backward(grad_out)
+        # The critic only provides dQ/da here; its own grads are discarded.
+        self.value_main.zero_grad()
+        self.policy_main.backward(grad_in[:, self.state_dim :])
+        self.policy_opt.step()
+        return float(q.mean())
+
+    def train(self) -> TrainStats | None:
+        """One side-thread training pass (Algorithm 1); no-op until the
+        buffer holds ``min_buffer`` transitions ("if D is sufficient")."""
+        c = self.config
+        if len(self.buffer) < max(c.min_buffer, 2):
+            return None
+        batch_size = min(c.batch_size, len(self.buffer))
+        priorities = self.td_priorities() if c.prioritized else None
+        critic_losses, actor_qs = [], []
+        for _ in range(c.updates_per_round):
+            if priorities is not None:
+                batch = self.buffer.sample_prioritized(batch_size, priorities, self.rng)
+            else:
+                batch = self.buffer.sample_uniform(batch_size, self.rng)
+            s, a, r, s2 = batch
+            critic_losses.append(self._critic_update(s, a, r, s2))
+            actor_qs.append(self._actor_update(s))
+            soft_update(self.value_target, self.value_main, c.rho)
+            soft_update(self.policy_target, self.policy_main, c.rho)
+            self.total_updates += 1
+        return TrainStats(
+            critic_loss=float(np.mean(critic_losses)),
+            actor_q=float(np.mean(actor_qs)),
+            updates=c.updates_per_round,
+            buffer_size=len(self.buffer),
+        )
+
+    # -- weight transfer ---------------------------------------------------------
+    def network_weights(self) -> dict[str, np.ndarray]:
+        """Flat weight vectors of all four networks (checkpointing / tests)."""
+        return {
+            "policy_main": self.policy_main.get_flat_weights(),
+            "policy_target": self.policy_target.get_flat_weights(),
+            "value_main": self.value_main.get_flat_weights(),
+            "value_target": self.value_target.get_flat_weights(),
+        }
+
+    def load_network_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`network_weights`."""
+        self.policy_main.set_flat_weights(weights["policy_main"])
+        self.policy_target.set_flat_weights(weights["policy_target"])
+        self.value_main.set_flat_weights(weights["value_main"])
+        self.value_target.set_flat_weights(weights["value_target"])

@@ -1,0 +1,80 @@
+"""Environment protocol connecting the DRL agent to federated learning.
+
+The FL simulation (``repro.fl``) exposes each communication round as one
+environment step: the *state* is the 3K vector of client losses and sample
+counts, the *action* is the 2K Gaussian-parameter vector, and the *reward*
+is eq. (7) computed from the next round's global-model losses.  Keeping
+the protocol here (and not in ``repro.fl``) lets the DRL substrate be
+tested against cheap synthetic environments with known optima.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Environment(Protocol):
+    """Minimal episodic-free environment interface used by the agent."""
+
+    @property
+    def state_dim(self) -> int:
+        """Dimensionality of state vectors."""
+        ...
+
+    @property
+    def n_clients(self) -> int:
+        """K — the number of Gaussians in an action (2K action entries)."""
+        ...
+
+    def reset(self) -> np.ndarray:
+        """Start a fresh episode and return the initial state."""
+        ...
+
+    def step(self, action: np.ndarray) -> tuple[np.ndarray, float, dict[str, Any]]:
+        """Apply an action; return ``(next_state, reward, info)``."""
+        ...
+
+
+class QuadraticBanditEnv:
+    """A synthetic environment with a known optimal action, for agent tests.
+
+    The reward is ``-(||mu - target||^2 + mean(sigma))`` where ``target`` is
+    a fixed vector in (-1, 1)^K: the agent maximises reward by steering its
+    means toward ``target`` and its sigmas toward zero.  The state is a
+    noisy observation of ``target`` tiled to ``3K`` entries, mirroring the
+    FL state's shape.
+    """
+
+    def __init__(self, n_clients: int, seed: int = 0, noise: float = 0.05) -> None:
+        if n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        self._k = n_clients
+        self._rng = np.random.default_rng(seed)
+        self.target = self._rng.uniform(-0.8, 0.8, size=n_clients)
+        self.noise = noise
+
+    @property
+    def state_dim(self) -> int:
+        return 3 * self._k
+
+    @property
+    def n_clients(self) -> int:
+        return self._k
+
+    def _observe(self) -> np.ndarray:
+        obs = np.tile(self.target, 3)
+        return obs + self._rng.normal(0.0, self.noise, size=obs.shape)
+
+    def reset(self) -> np.ndarray:
+        return self._observe()
+
+    def step(self, action: np.ndarray) -> tuple[np.ndarray, float, dict]:
+        action = np.asarray(action, dtype=float).ravel()
+        if action.shape[0] != 2 * self._k:
+            raise ValueError(f"action must have {2 * self._k} entries")
+        mu, sigma = action[: self._k], action[self._k :]
+        reward = -float(np.sum((mu - self.target) ** 2) + np.mean(np.abs(sigma)))
+        return self._observe(), reward, {"distance": float(np.linalg.norm(mu - self.target))}

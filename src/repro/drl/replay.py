@@ -1,0 +1,118 @@
+"""Experience replay with temporal-difference prioritised sampling.
+
+Algorithm 1 of the paper assigns each stored experience a priority equal
+to its absolute temporal difference ``|r + gamma * Q(s', a) - Q(s, a)|``,
+sorts the buffer by priority, and samples batches preferring high-priority
+experiences.  We implement this as rank-based prioritised sampling
+(probability proportional to ``1 / rank``), which is robust to the scale
+of TD errors; ``sample_uniform`` is retained for the replay-strategy
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Experience:
+    """One transition ``(s, a, r, s')`` collected by the server agent."""
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "state", np.asarray(self.state, dtype=float))
+        object.__setattr__(self, "action", np.asarray(self.action, dtype=float))
+        object.__setattr__(self, "next_state", np.asarray(self.next_state, dtype=float))
+        if self.state.shape != self.next_state.shape:
+            raise ValueError("state and next_state must have the same shape")
+        if not np.isfinite(self.reward):
+            raise ValueError("reward must be finite")
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO buffer of :class:`Experience` items."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: list[Experience] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, exp: Experience) -> None:
+        """Insert, overwriting the oldest entry once at capacity."""
+        if len(self._items) < self.capacity:
+            self._items.append(exp)
+        else:
+            self._items[self._cursor] = exp
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def extend(self, experiences: list[Experience]) -> None:
+        for exp in experiences:
+            self.add(exp)
+
+    def merge(self, other: "ReplayBuffer") -> None:
+        """Absorb another buffer (stage 2 of two-stage training merges the
+        per-worker buffers into the centralised one)."""
+        self.extend(other._items)
+
+    # -- batched views -------------------------------------------------------
+    def _stack(self, batch: list[Experience]) -> tuple[np.ndarray, ...]:
+        states = np.stack([e.state for e in batch])
+        actions = np.stack([e.action for e in batch])
+        rewards = np.array([e.reward for e in batch])
+        next_states = np.stack([e.next_state for e in batch])
+        return states, actions, rewards, next_states
+
+    def sample_uniform(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform sampling (the ablation baseline)."""
+        if not self._items:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, len(self._items), size=batch_size)
+        return self._stack([self._items[i] for i in idx])
+
+    def sample_prioritized(
+        self,
+        batch_size: int,
+        priorities: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Rank-based TD-prioritised sampling (Algorithm 1, lines 1–2).
+
+        ``priorities`` must align with :meth:`snapshot` order.  Items are
+        ranked by descending priority and sampled with probability
+        proportional to ``1 / rank``.
+        """
+        if not self._items:
+            raise ValueError("cannot sample from an empty buffer")
+        priorities = np.asarray(priorities, dtype=float)
+        if priorities.shape[0] != len(self._items):
+            raise ValueError("priorities length does not match buffer size")
+        order = np.argsort(-priorities, kind="stable")
+        ranks = np.empty_like(order)
+        ranks[order] = np.arange(1, len(order) + 1)
+        probs = 1.0 / ranks
+        probs = probs / probs.sum()
+        idx = rng.choice(len(self._items), size=batch_size, p=probs)
+        return self._stack([self._items[i] for i in idx])
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All experiences stacked, in internal order (for priority computation)."""
+        if not self._items:
+            raise ValueError("buffer is empty")
+        return self._stack(self._items)
+
+    def items(self) -> list[Experience]:
+        """A copy of the stored experiences (read-only use)."""
+        return list(self._items)

@@ -1,0 +1,65 @@
+"""``repro.fl`` — the federated-learning core.
+
+A synchronous FL simulation faithful to Algorithm 2 of the paper: the
+server broadcasts global weights, each participating client trains
+locally for E epochs and reports ``(l_b, l_a, n_k, w_k)``, and a pluggable
+aggregation *strategy* (FedAvg / FedProx / FedDRL) computes the next
+global model.  ``SingleSet`` (centralised training) is included as the
+reference upper bound used throughout the paper's tables.
+"""
+
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.compression import CompressedClients, compress_update, decompress_update
+from repro.fl.env import FederatedEnv
+from repro.fl.hierarchical import HierarchicalAggregator, HierarchicalStrategy
+from repro.fl.selection import (
+    PowerOfChoiceSelection,
+    RoundRobinSelection,
+    UniformSelection,
+)
+from repro.fl.server import FederatedServer
+from repro.fl.fairness import client_loss_stats, fairness_series
+from repro.fl.simulation import FederatedSimulation, FLConfig, History, RoundRecord
+from repro.fl.singleset import SingleSetResult, train_singleset
+from repro.fl.strategies import (
+    FedAvg,
+    FedDRL,
+    FedProx,
+    Strategy,
+    build_state,
+    combine_updates,
+    get_strategy,
+)
+from repro.fl.timing import Timer, measure_server_overhead
+
+__all__ = [
+    "Client",
+    "ClientUpdate",
+    "FederatedEnv",
+    "FederatedServer",
+    "FederatedSimulation",
+    "FLConfig",
+    "History",
+    "RoundRecord",
+    "SingleSetResult",
+    "train_singleset",
+    "Strategy",
+    "FedAvg",
+    "FedProx",
+    "FedDRL",
+    "get_strategy",
+    "build_state",
+    "combine_updates",
+    "client_loss_stats",
+    "fairness_series",
+    "Timer",
+    "measure_server_overhead",
+    "CompressedClients",
+    "compress_update",
+    "decompress_update",
+    "HierarchicalAggregator",
+    "HierarchicalStrategy",
+    "UniformSelection",
+    "RoundRobinSelection",
+    "PowerOfChoiceSelection",
+]

@@ -1,0 +1,131 @@
+"""Federated clients: local training and the per-round upload tuple.
+
+Algorithm 2, lines 5–11: each participating client k receives the global
+weights, records the inference loss ``l_b`` of the global model on its
+local data, trains for E epochs of mini-batch SGD (optionally with the
+FedProx proximal term), records its post-training loss ``l_a``, and
+uploads ``(l_b, l_a, n_k, w_k)``.
+
+Clients share a single *workspace model* supplied by the simulation —
+local training is sequential in this simulator, so one set of parameter
+arrays is reused for every client, keeping memory at one model regardless
+of N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, evaluate_loss
+from repro.nn.model import Sequential
+from repro.nn.optim import SGD, ProximalSGD
+
+
+@dataclass
+class ClientUpdate:
+    """What a client uploads to the server at the end of a round.
+
+    ``weights`` is the flat weight vector ``w_k``; ``loss_before`` and
+    ``loss_after`` are the paper's ``l_b`` / ``l_a``; ``n_samples`` is
+    ``n_k``.
+    """
+
+    client_id: int
+    weights: np.ndarray
+    loss_before: float
+    loss_after: float
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.n_samples <= 0:
+            raise ValueError("a client update must cover at least one sample")
+        if not (np.isfinite(self.loss_before) and np.isfinite(self.loss_after)):
+            raise ValueError("client losses must be finite")
+
+
+class Client:
+    """One edge device holding a private local dataset."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: ArrayDataset,
+        rng: np.random.Generator,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty dataset")
+        self.client_id = client_id
+        self.dataset = dataset
+        self.rng = rng
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.dataset)
+
+    def local_train(
+        self,
+        model: Sequential,
+        global_weights: np.ndarray,
+        epochs: int,
+        lr: float,
+        batch_size: int,
+        prox_mu: float = 0.0,
+        loss: Loss | None = None,
+    ) -> ClientUpdate:
+        """Run E local epochs starting from ``global_weights``; see module doc.
+
+        ``prox_mu > 0`` enables the FedProx proximal term anchored at the
+        round's global weights.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        loss = loss if loss is not None else SoftmaxCrossEntropy()
+        model.set_flat_weights(global_weights)
+        loss_before = evaluate_loss(model, loss, self.dataset.x, self.dataset.y)
+
+        if prox_mu > 0.0:
+            optimizer = ProximalSGD(model.parameters(), lr=lr, mu=prox_mu)
+            optimizer.set_anchor(model.param_arrays())
+        else:
+            optimizer = SGD(model.parameters(), lr=lr)
+
+        for _ in range(epochs):
+            for xb, yb in self.dataset.batches(batch_size, rng=self.rng):
+                model.zero_grad()
+                model.train_batch(loss, xb, yb)
+                optimizer.step()
+
+        loss_after = evaluate_loss(model, loss, self.dataset.x, self.dataset.y)
+        return ClientUpdate(
+            client_id=self.client_id,
+            weights=model.get_flat_weights(),
+            loss_before=loss_before,
+            loss_after=loss_after,
+            n_samples=self.n_samples,
+        )
+
+    def evaluate_global(
+        self, model: Sequential, global_weights: np.ndarray, loss: Loss | None = None
+    ) -> float:
+        """Inference loss of the global model on this client's data only."""
+        loss = loss if loss is not None else SoftmaxCrossEntropy()
+        model.set_flat_weights(global_weights)
+        return evaluate_loss(model, loss, self.dataset.x, self.dataset.y)
+
+
+def make_clients(
+    train_set: ArrayDataset,
+    parts: list[np.ndarray],
+    seed: int,
+) -> list[Client]:
+    """Build one client per partition entry with independent seeded RNGs."""
+    clients = []
+    for cid, idx in enumerate(parts):
+        clients.append(
+            Client(cid, train_set.subset(idx), np.random.default_rng(seed + 7919 * cid))
+        )
+    return clients

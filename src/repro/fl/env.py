@@ -1,0 +1,132 @@
+"""The FL simulation exposed as a DRL environment.
+
+Used by the two-stage trainer (Section 3.4.2): each online *worker* agent
+drives its own :class:`FederatedEnv`, where one environment step is one
+communication round.  ``step(action)`` aggregates the currently pending
+client updates with the impact factors sampled from ``action``, runs the
+next round of local training under the new global model, and returns the
+next state together with the eq.-(7) reward computed from the fresh
+``l_b`` losses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.drl.action import impact_factors_from_action
+from repro.drl.reward import feddrl_reward
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.simulation import FLConfig
+from repro.fl.strategies.base import build_state, combine_updates
+from repro.nn.losses import SoftmaxCrossEntropy
+
+
+class FederatedEnv:
+    """Environment protocol adapter over a federated client population."""
+
+    def __init__(
+        self,
+        clients: list[Client],
+        model_factory,
+        config: FLConfig,
+        beta: float = 0.5,
+        fairness_weight: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if config.clients_per_round > len(clients):
+            raise ValueError("clients_per_round exceeds population")
+        self.clients = clients
+        self.model_factory = model_factory
+        self.config = config
+        self.beta = beta
+        self.fairness_weight = fairness_weight
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._loss = SoftmaxCrossEntropy()
+        self.model = model_factory(np.random.default_rng(config.seed))
+        self.global_weights: np.ndarray | None = None
+        self._updates: list[ClientUpdate] | None = None
+        self.round_idx = 0
+
+    # -- Environment protocol -------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        return 3 * self.config.clients_per_round
+
+    @property
+    def n_clients(self) -> int:
+        return self.config.clients_per_round
+
+    def _train_participants(self) -> list[ClientUpdate]:
+        cfg = self.config
+        participants = self.rng.choice(
+            len(self.clients), cfg.clients_per_round, replace=False
+        )
+        return [
+            self.clients[cid].local_train(
+                self.model,
+                self.global_weights,
+                epochs=cfg.local_epochs,
+                lr=cfg.lr,
+                batch_size=cfg.batch_size,
+                loss=self._loss,
+            )
+            for cid in participants
+        ]
+
+    def reset(self) -> np.ndarray:
+        """Fresh global model + one round of local training -> initial state."""
+        fresh = self.model_factory(np.random.default_rng(self.config.seed))
+        self.global_weights = fresh.get_flat_weights()
+        self.round_idx = 0
+        self._updates = self._train_participants()
+        return build_state(self._updates)
+
+    def step(self, action: np.ndarray) -> tuple[np.ndarray, float, dict]:
+        """Aggregate pending updates per ``action``; advance one round."""
+        if self._updates is None:
+            raise RuntimeError("step called before reset")
+        k = self.config.clients_per_round
+        alphas = impact_factors_from_action(action, k, self.rng, beta=self.beta)
+        self.global_weights = combine_updates(self._updates, alphas)
+        self.round_idx += 1
+        self._updates = self._train_participants()
+        losses_before = np.array([u.loss_before for u in self._updates])
+        reward = feddrl_reward(losses_before, self.fairness_weight)
+        state = build_state(self._updates)
+        info = {
+            "round": self.round_idx,
+            "alphas": alphas,
+            "mean_loss": float(losses_before.mean()),
+        }
+        return state, reward, info
+
+
+def make_env_factory(
+    dataset_builder,
+    partition_builder,
+    model_factory,
+    config: FLConfig,
+    beta: float = 0.5,
+    seed: int = 0,
+):
+    """Return an ``env_factory(worker_id)`` for the two-stage trainer.
+
+    ``dataset_builder(seed)`` must return an :class:`ArrayDataset`;
+    ``partition_builder(labels, rng)`` must return a list of index arrays.
+    Each worker gets its own dataset realisation and client population so
+    worker experience is decorrelated (the point of stage 1).
+    """
+    from repro.fl.client import make_clients
+
+    def factory(worker_id: int) -> FederatedEnv:
+        wseed = seed + 104_729 * (worker_id + 1)
+        train_set: ArrayDataset = dataset_builder(wseed)
+        parts = partition_builder(train_set.y, np.random.default_rng(wseed))
+        clients = make_clients(train_set, parts, seed=wseed)
+        return FederatedEnv(
+            clients, model_factory, config, beta=beta, seed=wseed
+        )
+
+    return factory

@@ -1,0 +1,85 @@
+"""Client selection policies (related work the paper positions against).
+
+The paper's Section 1 contrasts FedDRL with methods that tackle non-IID
+data by *actively selecting* clients [3, 21, 30].  These selectors are
+pluggable into :class:`~repro.fl.simulation.FederatedSimulation` so the
+two approach families can be compared under identical conditions, and
+combined (FedDRL aggregation + informed selection).
+
+Each selector returns K distinct client ids for the round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UniformSelection:
+    """Algorithm 2's default: uniformly random K of N without replacement."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def select(self, n_clients: int, k: int, round_idx: int) -> list[int]:
+        if k > n_clients:
+            raise ValueError("cannot select more clients than exist")
+        return list(self.rng.choice(n_clients, k, replace=False))
+
+    def observe(self, client_ids: list[int], losses: np.ndarray) -> None:
+        """Selectors may learn from the round's outcome; uniform ignores it."""
+
+
+class RoundRobinSelection:
+    """Deterministic fairness baseline: cycle through all clients."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, n_clients: int, k: int, round_idx: int) -> list[int]:
+        if k > n_clients:
+            raise ValueError("cannot select more clients than exist")
+        picked = [(self._cursor + i) % n_clients for i in range(k)]
+        self._cursor = (self._cursor + k) % n_clients
+        return picked
+
+    def observe(self, client_ids: list[int], losses: np.ndarray) -> None:
+        pass
+
+
+class PowerOfChoiceSelection:
+    """Loss-biased selection after Cho et al. [3] (power-of-choice).
+
+    Sample a candidate set of size ``d >= k`` uniformly, then keep the k
+    candidates with the highest last-known loss — steering computation
+    toward under-served clients.  Unknown clients default to +inf loss so
+    everyone is visited at least once.
+    """
+
+    def __init__(self, rng: np.random.Generator, candidate_factor: int = 2) -> None:
+        if candidate_factor < 1:
+            raise ValueError("candidate_factor must be >= 1")
+        self.rng = rng
+        self.candidate_factor = candidate_factor
+        self._last_loss: dict[int, float] = {}
+
+    def select(self, n_clients: int, k: int, round_idx: int) -> list[int]:
+        if k > n_clients:
+            raise ValueError("cannot select more clients than exist")
+        d = min(n_clients, self.candidate_factor * k)
+        candidates = self.rng.choice(n_clients, d, replace=False)
+        losses = np.array([
+            self._last_loss.get(int(c), np.inf) for c in candidates
+        ])
+        order = np.argsort(-losses, kind="stable")
+        return [int(candidates[i]) for i in order[:k]]
+
+    def observe(self, client_ids: list[int], losses: np.ndarray) -> None:
+        for cid, loss in zip(client_ids, losses):
+            self._last_loss[int(cid)] = float(loss)
+
+
+SELECTORS = {
+    "uniform": UniformSelection,
+    "round_robin": RoundRobinSelection,
+    "power_of_choice": PowerOfChoiceSelection,
+}

@@ -1,0 +1,81 @@
+"""A stand-alone federated server facade for manual round driving.
+
+:class:`repro.fl.simulation.FederatedSimulation` owns the whole loop; this
+facade exposes the *server half* of Algorithm 2 (broadcast → collect →
+aggregate) for users who drive rounds themselves — e.g. to interleave
+custom client scheduling, inject faults, or bridge to a real transport.
+
+Example::
+
+    server = FederatedServer(model_factory, strategy, seed=0)
+    for t in range(rounds):
+        w = server.broadcast()
+        updates = [c.local_train(model, w, epochs, lr, batch) for c in picked]
+        server.aggregate(updates)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.strategies.base import Strategy, combine_updates
+
+
+class FederatedServer:
+    """Holds the global model weights and applies an aggregation strategy."""
+
+    def __init__(self, model_factory, strategy: Strategy, seed: int = 0) -> None:
+        self.strategy = strategy
+        self._model = model_factory(np.random.default_rng(seed))
+        self.global_weights = self._model.get_flat_weights()
+        self.round_idx = 0
+        self.impact_times: list[float] = []
+        self.aggregation_times: list[float] = []
+
+    @property
+    def model_dim(self) -> int:
+        return int(self.global_weights.shape[0])
+
+    def broadcast(self) -> np.ndarray:
+        """The weights to send to this round's participants (a copy, so a
+        client cannot mutate the server's state)."""
+        return self.global_weights.copy()
+
+    def aggregate(self, updates: list[ClientUpdate]) -> np.ndarray:
+        """One server step: impact factors, eq. (4), side-thread hook."""
+        if not updates:
+            raise ValueError("aggregate needs at least one client update")
+        for u in updates:
+            if u.weights.shape != self.global_weights.shape:
+                raise ValueError(
+                    f"client {u.client_id} uploaded {u.weights.shape[0]} weights, "
+                    f"server model has {self.model_dim}"
+                )
+        t0 = time.perf_counter()
+        alphas = self.strategy.impact_factors(updates, self.round_idx)
+        t1 = time.perf_counter()
+        self.global_weights = combine_updates(updates, alphas)
+        t2 = time.perf_counter()
+        self.strategy.on_round_end(updates, self.round_idx)
+        self.impact_times.append(t1 - t0)
+        self.aggregation_times.append(t2 - t1)
+        self.round_idx += 1
+        return self.global_weights
+
+    def state_dict(self) -> dict:
+        """Checkpointable server state (weights + round counter)."""
+        return {
+            "global_weights": self.global_weights.copy(),
+            "round_idx": self.round_idx,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        weights = np.asarray(state["global_weights"], dtype=float)
+        if weights.shape != self.global_weights.shape:
+            raise ValueError("checkpoint weight dimension mismatch")
+        self.global_weights = weights.copy()
+        self.round_idx = int(state["round_idx"])

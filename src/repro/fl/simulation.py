@@ -1,0 +1,217 @@
+"""The synchronous federated-learning round loop (Algorithm 2).
+
+:class:`FederatedSimulation` drives N clients through T communication
+rounds: sample K participants, broadcast the global weights, collect local
+updates, ask the strategy for impact factors, aggregate, and evaluate.
+Per-round records capture everything the paper's figures need — test
+accuracy (Fig. 5/7/8), per-client inference-loss statistics (Fig. 6),
+impact factors, and the server-side timing split (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.strategies.base import Strategy, combine_updates
+from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
+from repro.nn.metrics import top1_accuracy
+from repro.nn.model import Sequential
+
+
+@dataclass
+class FLConfig:
+    """Simulation hyper-parameters (paper Section 4.1 defaults)."""
+
+    rounds: int = 50
+    clients_per_round: int = 10
+    local_epochs: int = 5
+    lr: float = 0.01
+    batch_size: int = 10
+    eval_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0 or self.clients_per_round <= 0:
+            raise ValueError("rounds and clients_per_round must be positive")
+        if self.local_epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("local_epochs and batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+
+
+@dataclass
+class RoundRecord:
+    """Everything observed in one communication round."""
+
+    round_idx: int
+    participants: list[int]
+    impact_factors: np.ndarray
+    client_losses_before: np.ndarray
+    client_losses_after: np.ndarray
+    client_sizes: np.ndarray
+    impact_time_s: float
+    aggregation_time_s: float
+    test_accuracy: float | None = None
+    test_loss: float | None = None
+
+
+@dataclass
+class History:
+    """Accumulated round records with the paper's summary views."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    # -- series used by the figure benches -----------------------------------
+    def accuracy_series(self) -> list[tuple[int, float]]:
+        """(round, accuracy) pairs for evaluated rounds (Fig. 5)."""
+        return [
+            (r.round_idx, r.test_accuracy)
+            for r in self.records
+            if r.test_accuracy is not None
+        ]
+
+    def best_accuracy(self) -> float:
+        """The paper's headline number: best top-1 accuracy over training."""
+        accs = [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+        if not accs:
+            raise ValueError("no evaluated rounds in history")
+        return max(accs)
+
+    def loss_mean_series(self) -> list[float]:
+        """Per-round mean of client inference losses (Fig. 6 top row)."""
+        return [float(np.mean(r.client_losses_before)) for r in self.records]
+
+    def loss_var_series(self) -> list[float]:
+        """Per-round variance of client inference losses (Fig. 6 bottom row)."""
+        return [float(np.var(r.client_losses_before)) for r in self.records]
+
+    def mean_impact_time(self) -> float:
+        """Average impact-factor computation time in seconds (Fig. 9 'DRL')."""
+        return float(np.mean([r.impact_time_s for r in self.records]))
+
+    def mean_aggregation_time(self) -> float:
+        """Average eq.-(4) aggregation time in seconds (Fig. 9 'Aggregation')."""
+        return float(np.mean([r.aggregation_time_s for r in self.records]))
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round reaching ``target`` accuracy, or None (Fig. 10)."""
+        for r in self.records:
+            if r.test_accuracy is not None and r.test_accuracy >= target:
+                return r.round_idx
+        return None
+
+
+class FederatedSimulation:
+    """Synchronous FL over a fixed client population."""
+
+    def __init__(
+        self,
+        clients: list[Client],
+        test_set: ArrayDataset | None,
+        model_factory,
+        strategy: Strategy,
+        config: FLConfig,
+        selector=None,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        if config.clients_per_round > len(clients):
+            raise ValueError(
+                f"clients_per_round={config.clients_per_round} exceeds population "
+                f"{len(clients)}"
+            )
+        self.clients = clients
+        self.test_set = test_set
+        self.strategy = strategy
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        if selector is None:
+            from repro.fl.selection import UniformSelection
+
+            selector = UniformSelection(np.random.default_rng(config.seed + 17))
+        self.selector = selector
+        # One shared workspace model: local training is sequential, so all
+        # clients reuse these arrays (memory stays O(1) in N).
+        self.model: Sequential = model_factory(np.random.default_rng(config.seed))
+        self.global_weights = self.model.get_flat_weights()
+        self.history = History()
+        self._loss = SoftmaxCrossEntropy()
+
+    # -- one round ----------------------------------------------------------
+    def sample_participants(self, round_idx: int = 0) -> list[int]:
+        """Pick K distinct clients via the selection policy (Algorithm 2,
+        line 4 uses uniform sampling; see :mod:`repro.fl.selection`)."""
+        return self.selector.select(
+            len(self.clients), self.config.clients_per_round, round_idx
+        )
+
+    def collect_updates(self, participants: list[int]) -> list[ClientUpdate]:
+        """Broadcast + local training for each participant, in stable order."""
+        cfg = self.config
+        kwargs = self.strategy.client_kwargs()
+        return [
+            self.clients[cid].local_train(
+                self.model,
+                self.global_weights,
+                epochs=cfg.local_epochs,
+                lr=cfg.lr,
+                batch_size=cfg.batch_size,
+                loss=self._loss,
+                **kwargs,
+            )
+            for cid in participants
+        ]
+
+    def run_round(self, round_idx: int) -> RoundRecord:
+        participants = self.sample_participants(round_idx)
+        updates = self.collect_updates(participants)
+        self.selector.observe(
+            participants, np.array([u.loss_before for u in updates])
+        )
+
+        t0 = time.perf_counter()
+        alphas = self.strategy.impact_factors(updates, round_idx)
+        t1 = time.perf_counter()
+        self.global_weights = combine_updates(updates, alphas)
+        t2 = time.perf_counter()
+        self.strategy.on_round_end(updates, round_idx)
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            participants=participants,
+            impact_factors=np.asarray(alphas),
+            client_losses_before=np.array([u.loss_before for u in updates]),
+            client_losses_after=np.array([u.loss_after for u in updates]),
+            client_sizes=np.array([u.n_samples for u in updates]),
+            impact_time_s=t1 - t0,
+            aggregation_time_s=t2 - t1,
+        )
+        if self.test_set is not None and (
+            round_idx % self.config.eval_every == 0
+            or round_idx == self.config.rounds - 1
+        ):
+            self.model.set_flat_weights(self.global_weights)
+            record.test_accuracy = top1_accuracy(
+                self.model, self.test_set.x, self.test_set.y
+            )
+            record.test_loss = evaluate_loss(
+                self.model, self._loss, self.test_set.x, self.test_set.y
+            )
+        self.history.append(record)
+        return record
+
+    def run(self) -> History:
+        """Run all T communication rounds (Algorithm 2, line 3)."""
+        for t in range(self.config.rounds):
+            self.run_round(t)
+        return self.history

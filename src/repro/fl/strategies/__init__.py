@@ -1,0 +1,35 @@
+"""Aggregation strategies: how the server combines client models."""
+
+from repro.fl.strategies.base import Strategy, build_state, combine_updates
+from repro.fl.strategies.fedavg import FedAvg
+from repro.fl.strategies.feddrl import FedDRL
+from repro.fl.strategies.fedprox import FedProx
+
+STRATEGIES = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "feddrl": FedDRL,
+}
+
+
+def get_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by its lowercase name."""
+    try:
+        cls = STRATEGIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Strategy",
+    "FedAvg",
+    "FedProx",
+    "FedDRL",
+    "get_strategy",
+    "build_state",
+    "combine_updates",
+    "STRATEGIES",
+]

@@ -1,0 +1,25 @@
+"""FedAvg (McMahan et al., 2017): impact factors proportional to sample counts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.strategies.base import Strategy
+
+
+class FedAvg(Strategy):
+    """Eq. (1): ``alpha_k = n_k / sum_j n_j``.
+
+    The paper's point of departure: weighting purely by data volume treats
+    all samples equally, which over-fits the dominant cluster under
+    cluster-skew.
+    """
+
+    name = "fedavg"
+
+    def impact_factors(self, updates: list[ClientUpdate], round_idx: int) -> np.ndarray:
+        if not updates:
+            raise ValueError("no updates to aggregate")
+        n = np.array([u.n_samples for u in updates], dtype=float)
+        return n / n.sum()

@@ -1,0 +1,24 @@
+"""FedProx (Li et al., 2020): FedAvg aggregation + proximal local objective."""
+
+from __future__ import annotations
+
+from repro.fl.strategies.fedavg import FedAvg
+
+
+class FedProx(FedAvg):
+    """Server side identical to FedAvg; clients add ``(mu/2)||w - w_t||^2``.
+
+    The paper uses ``mu = 0.01`` (Section 4.1.2).  The proximal term is
+    applied inside :class:`repro.nn.optim.ProximalSGD` via the
+    ``client_kwargs`` hook.
+    """
+
+    name = "fedprox"
+
+    def __init__(self, mu: float = 0.01) -> None:
+        if mu < 0:
+            raise ValueError("mu must be non-negative")
+        self.mu = mu
+
+    def client_kwargs(self) -> dict:
+        return {"prox_mu": self.mu}

@@ -1,0 +1,59 @@
+"""Convergence-rate analysis (Figure 10).
+
+The paper compares, per dataset × partition, the number of communication
+rounds each method needs to reach a common target accuracy (chosen as the
+*minimum* of the methods' best accuracies so every method can reach it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.fl.simulation import History
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+
+
+def rounds_to_target(history: History, target: float) -> int | None:
+    """First communication round whose test accuracy reaches ``target``."""
+    return history.rounds_to_accuracy(target)
+
+
+def convergence_table(
+    dataset: str = "mnist",
+    partition: str = "CE",
+    methods: Sequence[str] = ("fedavg", "fedprox", "feddrl"),
+    scale: str = "bench",
+    n_clients: int = 10,
+    seed: int = 0,
+    **overrides,
+) -> dict:
+    """Rounds-to-target per method, plus slowdown ratios relative to FedDRL.
+
+    Mirrors the paper's reporting: e.g. "FedAvg and FedProx spend 1.16x and
+    1.2x longer than FedDRL".  Returns ``{"target": t, "rounds": {...},
+    "relative": {...}}`` where ``relative`` is each method's round count
+    divided by FedDRL's (None when a method never reaches the target).
+    """
+    histories: dict[str, History] = {}
+    best: dict[str, float] = {}
+    for method in methods:
+        cfg = ExperimentConfig(
+            dataset=dataset, partition=partition, method=method,
+            n_clients=n_clients, clients_per_round=min(10, n_clients),
+            scale=scale, seed=seed, **overrides,
+        )
+        result = run_experiment(cfg)
+        histories[method] = result.history
+        best[method] = result.best_accuracy
+
+    target = min(best.values())
+    rounds = {m: rounds_to_target(h, target) for m, h in histories.items()}
+    ref = rounds.get("feddrl")
+    relative = {}
+    for m, r in rounds.items():
+        if r is None or ref is None or ref == 0:
+            relative[m] = None
+        else:
+            relative[m] = r / max(ref, 1)
+    return {"target": target, "rounds": rounds, "relative": relative, "best": best}

@@ -1,0 +1,100 @@
+"""Result serialisation: experiment outcomes as JSON and Markdown.
+
+The benches print paper-style text tables; downstream users usually want
+machine-readable results too (for plotting, CI regression tracking, or
+aggregating multi-seed sweeps).  These helpers convert the harness's
+result objects into plain dicts / JSON / Markdown without adding any
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.fl.simulation import History
+from repro.harness.runner import ExperimentResult
+
+
+def history_to_dict(history: History) -> dict:
+    """Flatten a :class:`History` into JSON-serialisable primitives."""
+    return {
+        "rounds": len(history.records),
+        "accuracy_series": [[r, float(a)] for r, a in history.accuracy_series()],
+        "best_accuracy": history.best_accuracy(),
+        "loss_mean_series": history.loss_mean_series(),
+        "loss_var_series": history.loss_var_series(),
+        "mean_impact_time_ms": history.mean_impact_time() * 1e3,
+        "mean_aggregation_time_ms": history.mean_aggregation_time() * 1e3,
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Flatten an :class:`ExperimentResult`, including its config cell."""
+    cfg = result.config
+    out = {
+        "config": {
+            "dataset": cfg.dataset,
+            "partition": cfg.partition,
+            "method": cfg.method,
+            "n_clients": cfg.n_clients,
+            "clients_per_round": cfg.clients_per_round,
+            "scale": cfg.scale,
+            "delta": cfg.delta,
+            "seed": cfg.seed,
+            "rounds": cfg.resolved("rounds"),
+        },
+        "best_accuracy": result.best_accuracy,
+        "wall_time_s": result.wall_time_s,
+    }
+    if result.history is not None:
+        out["history"] = history_to_dict(result.history)
+    if result.extra:
+        out["extra"] = {
+            k: (v.tolist() if isinstance(v, np.ndarray) else v)
+            for k, v in result.extra.items()
+        }
+    return out
+
+
+def save_results_json(results: list[ExperimentResult], path: str | Path) -> Path:
+    """Write a list of experiment results to a JSON file; returns the path."""
+    path = Path(path)
+    payload = [result_to_dict(r) for r in results]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_results_json(path: str | Path) -> list[dict]:
+    """Read back what :func:`save_results_json` wrote."""
+    return json.loads(Path(path).read_text())
+
+
+def results_to_markdown(results: list[ExperimentResult], title: str = "Results") -> str:
+    """A Markdown table of one row per experiment (for reports / PRs)."""
+    lines = [
+        f"## {title}",
+        "",
+        "| dataset | partition | method | N | K | rounds | best acc | time (s) |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for r in results:
+        c = r.config
+        lines.append(
+            f"| {c.dataset} | {c.partition} | {c.method} | {c.n_clients} "
+            f"| {c.clients_per_round} | {c.resolved('rounds')} "
+            f"| {r.best_accuracy:.4f} | {r.wall_time_s:.1f} |"
+        )
+    return "\n".join(lines)
+
+
+def compare_methods(results: list[ExperimentResult]) -> dict[str, float]:
+    """Best accuracy per method over a result list (cells must share the
+    same dataset/partition for the comparison to be meaningful)."""
+    out: dict[str, float] = {}
+    for r in results:
+        method = r.config.method
+        out[method] = max(out.get(method, 0.0), r.best_accuracy)
+    return out

@@ -1,0 +1,211 @@
+"""Experiment runner: config -> dataset -> partition -> simulation -> result."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.partition import get_partitioner
+from repro.data.synthetic import cifar100_like, fashion_like, mnist_like
+from repro.fl.client import make_clients
+from repro.fl.simulation import FederatedSimulation, FLConfig, History
+from repro.fl.singleset import train_singleset
+from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
+from repro.harness.config import ExperimentConfig
+from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment cell."""
+
+    config: ExperimentConfig
+    best_accuracy: float
+    history: History | None  # None for singleset
+    wall_time_s: float
+    extra: dict | None = None
+
+
+# --------------------------------------------------------------------------
+# builders
+# --------------------------------------------------------------------------
+
+def build_dataset(cfg: ExperimentConfig) -> tuple[ArrayDataset, ArrayDataset]:
+    """Instantiate the synthetic stand-in named by the config."""
+    n_train = cfg.resolved("n_train")
+    n_test = cfg.resolved("n_test")
+    size = cfg.preset.image_size
+    if cfg.dataset == "mnist":
+        return mnist_like(n_train, n_test, seed=cfg.seed, image_size=size)
+    if cfg.dataset == "fashion":
+        return fashion_like(n_train, n_test, seed=cfg.seed + 1, image_size=size)
+    return cifar100_like(
+        n_train, n_test, seed=cfg.seed + 2, image_size=size,
+        num_classes=cfg.preset.cifar_classes,
+    )
+
+
+def build_model_factory(cfg: ExperimentConfig, train_set: ArrayDataset):
+    """Return ``factory(rng) -> Sequential`` for the config's model."""
+    channels = train_set.x.shape[1]
+    image_size = train_set.x.shape[2]
+    classes = train_set.num_classes
+    name = cfg.effective_model
+    if name == "mlp":
+        features = int(np.prod(train_set.x.shape[1:]))
+        return partial(mlp, features, classes, hidden=(64, 32))
+    if name == "simple_cnn":
+        return partial(simple_cnn, channels, image_size, classes)
+    if name == "vgg_mini":
+        return partial(vgg_mini, channels, image_size, classes)
+    if name == "vgg11":
+        return partial(vgg11, channels, image_size, classes)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def build_partition(
+    cfg: ExperimentConfig, labels: np.ndarray, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Apply the config's partitioner with its paper parameters."""
+    part = get_partitioner(cfg.partition)
+    if cfg.partition == "PA":
+        return part(labels, cfg.n_clients, rng,
+                    labels_per_client=cfg.effective_labels_per_client)
+    if cfg.partition in ("CE", "CN"):
+        return part(labels, cfg.n_clients, rng, delta=cfg.delta,
+                    labels_per_client=cfg.effective_labels_per_client)
+    return part(labels, cfg.n_clients, rng)
+
+
+def build_strategy(cfg: ExperimentConfig) -> Strategy:
+    """Instantiate the aggregation strategy for a federated method."""
+    if cfg.method == "fedavg":
+        return FedAvg()
+    if cfg.method == "fedprox":
+        return FedProx(mu=cfg.prox_mu)
+    if cfg.method == "feddrl":
+        from repro.drl.agent import DRLConfig
+
+        drl_cfg = DRLConfig(
+            beta=cfg.drl_beta,
+            prioritized=cfg.drl_prioritized,
+            gamma=cfg.drl_gamma,
+            noise_scale=cfg.drl_noise_scale,
+            noise_decay=0.99,
+            updates_per_round=cfg.drl_updates_per_round,
+            # CPU-scale runs have ~30-100 transitions total (vs 1000 in the
+            # paper), so agent training must start almost immediately.
+            min_buffer=8,
+            batch_size=16,
+        )
+        agent = None
+        if cfg.drl_pretrain_rounds > 0:
+            agent = pretrain_feddrl_agent(cfg, drl_cfg)
+        return FedDRL(
+            clients_per_round=cfg.clients_per_round,
+            drl_config=drl_cfg,
+            agent=agent,
+            seed=cfg.seed + 13,
+            explore=cfg.drl_explore,
+            fairness_weight=cfg.fairness_weight,
+        )
+    raise ValueError(f"{cfg.method!r} is not a federated strategy")
+
+
+def pretrain_feddrl_agent(cfg: ExperimentConfig, drl_cfg):
+    """Two-stage pretraining (Section 3.4.2) over worker FL environments.
+
+    Each worker drives its own federated environment built from an
+    independent realisation of the config's dataset and partition; the
+    merged worker experience trains the main agent offline.  The returned
+    agent starts the evaluation run with a reduced exploration scale since
+    it already carries a trained policy.
+    """
+    from repro.drl.two_stage import TwoStageTrainer
+    from repro.fl.env import FederatedEnv
+
+    fl_cfg = build_fl_config(cfg)
+
+    def env_factory(worker_id: int) -> FederatedEnv:
+        wseed = cfg.seed + 7919 * (worker_id + 1)
+        wcfg = cfg.with_(seed=wseed)
+        train_set, _ = build_dataset(wcfg)
+        parts = build_partition(wcfg, train_set.y, np.random.default_rng(wseed + 5))
+        clients = make_clients(train_set, parts, seed=wseed + 11)
+        model_factory = build_model_factory(wcfg, train_set)
+        return FederatedEnv(
+            clients, model_factory, fl_cfg, beta=cfg.drl_beta,
+            fairness_weight=cfg.fairness_weight, seed=wseed,
+        )
+
+    trainer = TwoStageTrainer(
+        env_factory, drl_cfg, n_workers=cfg.drl_pretrain_workers, seed=cfg.seed
+    )
+    agent = trainer.train(cfg.drl_pretrain_rounds, cfg.drl_offline_updates)
+    agent.noise_scale = min(agent.noise_scale, 0.05)
+    return agent
+
+
+def build_fl_config(cfg: ExperimentConfig) -> FLConfig:
+    return FLConfig(
+        rounds=cfg.resolved("rounds"),
+        clients_per_round=cfg.clients_per_round,
+        local_epochs=cfg.resolved("local_epochs"),
+        lr=cfg.lr,
+        batch_size=cfg.resolved("batch_size"),
+        eval_every=cfg.resolved("eval_every"),
+        seed=cfg.seed,
+    )
+
+
+def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation:
+    """Everything up to (but not including) ``run()`` — used by figures that
+    need access to the live simulation."""
+    train_set, test_set = build_dataset(cfg)
+    parts = build_partition(cfg, train_set.y, np.random.default_rng(cfg.seed + 5))
+    clients = make_clients(train_set, parts, seed=cfg.seed + 11)
+    model_factory = build_model_factory(cfg, train_set)
+    strategy = build_strategy(cfg)
+    return FederatedSimulation(
+        clients, test_set, model_factory, strategy, build_fl_config(cfg)
+    )
+
+
+# --------------------------------------------------------------------------
+# top-level entry point
+# --------------------------------------------------------------------------
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment cell and return its headline metrics."""
+    start = time.perf_counter()
+    if cfg.method == "singleset":
+        train_set, test_set = build_dataset(cfg)
+        model_factory = build_model_factory(cfg, train_set)
+        # SingleSet epochs chosen so total gradient work matches one
+        # client's share of the federated run, times the round count.
+        epochs = max(1, cfg.resolved("rounds") * cfg.resolved("local_epochs") // 10)
+        result = train_singleset(
+            train_set, test_set, model_factory,
+            epochs=epochs, lr=cfg.lr,
+            batch_size=cfg.resolved("batch_size"), seed=cfg.seed,
+        )
+        return ExperimentResult(
+            config=cfg,
+            best_accuracy=result.best_accuracy,
+            history=None,
+            wall_time_s=time.perf_counter() - start,
+            extra={"accuracies": result.accuracies},
+        )
+
+    sim = build_simulation(cfg)
+    history = sim.run()
+    return ExperimentResult(
+        config=cfg,
+        best_accuracy=history.best_accuracy(),
+        history=history,
+        wall_time_s=time.perf_counter() - start,
+    )

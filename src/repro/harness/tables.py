@@ -1,0 +1,127 @@
+"""Table generators: the paper's Table 3 and Table 4.
+
+Each function returns a nested dict of best top-1 accuracies plus the
+relative-improvement rows the paper reports, and a ``format_accuracy_table``
+renderer prints the same layout as the paper (methods × partitioning
+methods, with impr.(a)/impr.(b) rows).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+
+FEDERATED_METHODS = ("fedavg", "fedprox", "feddrl")
+ALL_METHODS = ("singleset",) + FEDERATED_METHODS
+
+
+def _grid(
+    datasets: Sequence[str],
+    partitions: Sequence[str],
+    client_counts: Sequence[int],
+    methods: Sequence[str],
+    scale: str,
+    seed: int,
+    **cfg_overrides,
+) -> dict:
+    """Run the full grid; returns results[n_clients][dataset][partition][method]."""
+    results: dict = {}
+    for n in client_counts:
+        results[n] = {}
+        for ds in datasets:
+            results[n][ds] = {}
+            for part in partitions:
+                cell: dict[str, float] = {}
+                for method in methods:
+                    cfg = ExperimentConfig(
+                        dataset=ds,
+                        partition=part,
+                        method=method,
+                        n_clients=n,
+                        clients_per_round=min(10, n),
+                        scale=scale,
+                        seed=seed,
+                        **cfg_overrides,
+                    )
+                    cell[method] = run_experiment(cfg).best_accuracy
+                results[n][ds][part] = cell
+    return results
+
+
+def improvements(cell: dict[str, float]) -> tuple[float, float]:
+    """The paper's impr.(a)/(b): FedDRL vs best and worst baseline (%).
+
+    Relative improvement ``(acc_drl - acc_base) / acc_base * 100``.
+    """
+    baselines = [cell[m] for m in FEDERATED_METHODS if m != "feddrl" and m in cell]
+    if "feddrl" not in cell or not baselines:
+        raise ValueError("cell must contain feddrl and at least one baseline")
+    drl = cell["feddrl"]
+    best, worst = max(baselines), min(baselines)
+    impr_a = (drl - best) / best * 100.0 if best > 0 else 0.0
+    impr_b = (drl - worst) / worst * 100.0 if worst > 0 else 0.0
+    return impr_a, impr_b
+
+
+def table3(
+    scale: str = "bench",
+    datasets: Sequence[str] = ("cifar100", "fashion", "mnist"),
+    partitions: Sequence[str] = ("PA", "CE", "CN"),
+    client_counts: Sequence[int] = (10,),
+    methods: Sequence[str] = ALL_METHODS,
+    delta: float = 0.6,
+    seed: int = 0,
+    **overrides,
+) -> dict:
+    """Table 3: top-1 accuracy across datasets × partitions × client counts.
+
+    The paper fixes the non-IID level at ``delta = 0.6`` for CE/CN.
+    Extra keyword arguments (e.g. ``rounds=60``) are forwarded to every
+    :class:`~repro.harness.config.ExperimentConfig` in the grid.
+    """
+    return _grid(datasets, partitions, client_counts, methods, scale, seed,
+                 delta=delta, **overrides)
+
+
+def table4(
+    scale: str = "bench",
+    client_counts: Sequence[int] = (10,),
+    methods: Sequence[str] = ALL_METHODS,
+    seed: int = 0,
+    **overrides,
+) -> dict:
+    """Table 4: FedAvg's label-size-imbalance splits (Equal / Non-equal),
+    CIFAR-100 stand-in.  Extra keyword arguments are forwarded to every
+    experiment config in the grid."""
+    return _grid(("cifar100",), ("EQUAL", "NONEQUAL"), client_counts, methods,
+                 scale, seed, **overrides)
+
+
+def format_accuracy_table(results: dict, title: str) -> str:
+    """Render a results grid in the paper's layout (accuracies in %)."""
+    lines = [title, "=" * len(title)]
+    for n_clients, by_dataset in results.items():
+        lines.append(f"\n{n_clients} clients")
+        for dataset, by_partition in by_dataset.items():
+            partitions = list(by_partition)
+            header = f"  {dataset:<10}" + "".join(f"{p:>12}" for p in partitions)
+            lines.append(header)
+            methods = list(next(iter(by_partition.values())))
+            for method in methods:
+                row = f"  {method:<10}"
+                for p in partitions:
+                    row += f"{by_partition[p][method] * 100:>11.2f}%"
+                lines.append(row)
+            if all("feddrl" in by_partition[p] for p in partitions):
+                row_a, row_b = "  impr.(a)  ", "  impr.(b)  "
+                for p in partitions:
+                    try:
+                        a, b = improvements(by_partition[p])
+                    except ValueError:
+                        a = b = float("nan")
+                    row_a += f"{a:>11.2f}%"
+                    row_b += f"{b:>11.2f}%"
+                lines += [row_a, row_b]
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Stateless numerical kernels shared by layers and losses.
+
+These are the hot paths of the substrate, so everything is expressed as
+batched NumPy array operations (no per-sample Python loops).  Convolutions
+use the im2col/col2im lowering: the input is unfolded into a matrix of
+receptive-field columns so the convolution becomes a single GEMM, which is
+the standard CPU strategy for small models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(n, num_classes)`` float64 one-hot encoding of ``labels``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a conv/pool window."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N*OH*OW, C*kh*kw).
+
+    Built with :func:`numpy.lib.stride_tricks.as_strided` so the unfold is a
+    zero-copy view of the (padded) input; only the final ``reshape``
+    materialises memory.
+    """
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride={stride}, pad={pad}) too large for input {h}x{w}"
+        )
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, oh, ow, kh, kw)
+    strides = (sn, sc, sh * stride, sw * stride, sh, sw)
+    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    # (N, OH, OW, C, kh, kw) -> rows are receptive fields.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold columns back onto an image, accumulating overlaps (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    out = np.zeros((n, c, hp, wp))
+    # Accumulate per kernel offset: kh*kw vectorised scatters instead of a
+    # per-window loop.
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols6[
+                :, :, :, :, i, j
+            ]
+    if pad > 0:
+        out = out[:, :, pad : pad + h, pad : pad + w]
+    return out
+
+
+def leaky_relu(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Element-wise LeakyReLU."""
+    return np.where(x >= 0, x, alpha * x)
+
+
+def leaky_relu_grad(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Derivative of LeakyReLU w.r.t. its input, evaluated at ``x``."""
+    return np.where(x >= 0, 1.0, alpha)
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softplus ``log(1 + e^x)``."""
+    return np.logaddexp(0.0, x)
+
+
+def softplus_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of softplus = sigmoid(x)."""
+    return sigmoid(x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def clip_grad_norm(grads: list[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging/diagnostics).
+    """
+    total = 0.0
+    for g in grads:
+        total += float(np.sum(g * g))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm

@@ -1,0 +1,444 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer stores its learnable parameters in ``self.params`` (a dict of
+NumPy arrays) and the matching gradients in ``self.grads``; non-learnable
+state (BatchNorm running statistics) lives in ``self.buffers``.  The
+federated aggregation code flattens params (and buffers) into a single
+vector, so arrays are only ever mutated in place — their identity is part
+of the layer contract.
+
+Shapes follow the NCHW convention for images and ``(batch, features)`` for
+dense inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.initializers import get_initializer, zeros_init
+
+
+class Layer:
+    """Base class: a differentiable function with optional parameters."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.buffers: dict[str, np.ndarray] = {}
+
+    # -- interface ---------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads and return the gradient w.r.t. input."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+    def zero_grad(self) -> None:
+        for g in self.grads.values():
+            g.fill(0.0)
+
+    def _register(self, name: str, value: np.ndarray) -> None:
+        self.params[name] = value
+        self.grads[name] = np.zeros_like(value)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        weight_init: str = "he_normal",
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        init = get_initializer(weight_init)
+        self._register("W", init((in_features, out_features), rng))
+        self.use_bias = bias
+        if bias:
+            self._register("b", zeros_init((out_features,), rng))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects (batch, {self.in_features}), got {x.shape}"
+            )
+        self._x = x if training else None
+        out = x @ self.params["W"]
+        if self.use_bias:
+            out += self.params["b"]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        self.grads["W"] += self._x.T @ grad
+        if self.use_bias:
+            self.grads["b"] += grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class Conv2D(Layer):
+    """2-D convolution (cross-correlation) lowered to GEMM via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        weight_init: str = "he_normal",
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid conv hyper-parameters")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        init = get_initializer(weight_init)
+        self._register(
+            "W", init((out_channels, in_channels, kernel_size, kernel_size), rng)
+        )
+        self.use_bias = bias
+        if bias:
+            self._register("b", zeros_init((out_channels,), rng))
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        oh = F.conv_out_size(h, k, s, p)
+        ow = F.conv_out_size(w, k, s, p)
+        cols = F.im2col(x, k, k, s, p)  # (N*OH*OW, C*k*k)
+        wmat = self.params["W"].reshape(self.out_channels, -1)  # (O, C*k*k)
+        out = cols @ wmat.T  # (N*OH*OW, O)
+        if self.use_bias:
+            out += self.params["b"]
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cols = cols
+            self._x_shape = x.shape
+        else:
+            self._cols = None
+            self._x_shape = None
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, o, oh, ow = grad.shape
+        gmat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, o)  # (N*OH*OW, O)
+        wmat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"] += (gmat.T @ self._cols).reshape(self.params["W"].shape)
+        if self.use_bias:
+            self.grads["b"] += gmat.sum(axis=0)
+        gcols = gmat @ wmat  # (N*OH*OW, C*k*k)
+        return F.col2im(
+            gcols, self._x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        oh = F.conv_out_size(h, k, s, 0)
+        ow = F.conv_out_size(w, k, s, 0)
+        cols = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)  # (N*C*OH*OW, k*k)
+        arg = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), arg]
+        if training:
+            self._x_shape = x.shape
+            self._argmax = arg
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._argmax is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, h, w = self._x_shape
+        k, s = self.kernel_size, self.stride
+        gflat = grad.reshape(-1)
+        cols = np.zeros((gflat.shape[0], k * k))
+        cols[np.arange(gflat.shape[0]), self._argmax] = gflat
+        gx = F.col2im(cols, (n * c, 1, h, w), k, k, s, 0)
+        return gx.reshape(n, c, h, w)
+
+
+class AvgPool2D(Layer):
+    """Average pooling; also usable as a cheap global pool with k=H."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        oh = F.conv_out_size(h, k, s, 0)
+        ow = F.conv_out_size(w, k, s, 0)
+        cols = F.im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        out = cols.mean(axis=1)
+        if training:
+            self._x_shape = x.shape
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, h, w = self._x_shape
+        k, s = self.kernel_size, self.stride
+        gflat = grad.reshape(-1)
+        cols = np.repeat(gflat[:, None] / (k * k), k * k, axis=1)
+        gx = F.col2im(cols, (n * c, 1, h, w), k, k, s, 0)
+        return gx.reshape(n, c, h, w)
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class _BatchNorm(Layer):
+    """Shared implementation for 1d/2d batch normalisation."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self._register("gamma", np.ones(num_features))
+        self._register("beta", np.zeros(num_features))
+        self.buffers["running_mean"] = np.zeros(num_features)
+        self.buffers["running_var"] = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def _normalize(self, x2: np.ndarray, training: bool) -> np.ndarray:
+        """Normalise a (rows, features) view of the input."""
+        if training:
+            mean = x2.mean(axis=0)
+            var = x2.var(axis=0)
+            m = self.momentum
+            self.buffers["running_mean"] *= 1.0 - m
+            self.buffers["running_mean"] += m * mean
+            self.buffers["running_var"] *= 1.0 - m
+            self.buffers["running_var"] += m * var
+        else:
+            mean = self.buffers["running_mean"]
+            var = self.buffers["running_var"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x2 - mean) * inv_std
+        if training:
+            self._cache = (xhat, inv_std)
+        return xhat * self.params["gamma"] + self.params["beta"]
+
+    def _backward2(self, g2: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a training forward pass")
+        xhat, inv_std = self._cache
+        m = g2.shape[0]
+        self.grads["gamma"] += (g2 * xhat).sum(axis=0)
+        self.grads["beta"] += g2.sum(axis=0)
+        gxhat = g2 * self.params["gamma"]
+        # Standard batchnorm backward in one vectorised expression.
+        return (
+            inv_std
+            / m
+            * (m * gxhat - gxhat.sum(axis=0) - xhat * (gxhat * xhat).sum(axis=0))
+        )
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over (batch, features) inputs."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (batch, {self.num_features}), got {x.shape}"
+            )
+        return self._normalize(x, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self._backward2(grad)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over (N, C, H, W) inputs, per channel."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expects (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        n, c, h, w = x.shape
+        self._spatial = (n, c, h, w)
+        x2 = x.transpose(0, 2, 3, 1).reshape(-1, c)
+        out = self._normalize(x2, training)
+        return out.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._spatial
+        g2 = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        gx = self._backward2(g2)
+        return gx.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+
+
+class _Activation(Layer):
+    """Base for stateless element-wise activations."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: np.ndarray | None = None
+
+
+class ReLU(_Activation):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad * (self._x > 0)
+
+
+class LeakyReLU(_Activation):
+    """LeakyReLU — the activation used by the paper's policy/value networks."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return F.leaky_relu(x, self.alpha)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad * F.leaky_relu_grad(self._x, self.alpha)
+
+
+class Tanh(_Activation):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._x = out  # cache output: tanh' = 1 - tanh^2
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad * (1.0 - self._x**2)
+
+
+class Sigmoid(_Activation):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = F.sigmoid(x)
+        if training:
+            self._x = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad * self._x * (1.0 - self._x)
+
+
+class Softplus(_Activation):
+    """Softplus; used for the DRL sigma head (strictly positive outputs)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return F.softplus(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad * F.softplus_grad(self._x)

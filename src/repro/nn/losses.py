@@ -1,0 +1,99 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Loss:
+    """Interface: ``forward`` returns a scalar, ``backward`` the logit grad."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean softmax cross-entropy over integer class labels.
+
+    ``forward`` takes raw logits of shape ``(batch, classes)`` and integer
+    labels of shape ``(batch,)``.  The combined softmax+CE backward is the
+    classic ``(p - y) / batch``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._target: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {pred.shape}")
+        target = np.asarray(target)
+        if target.shape != (pred.shape[0],):
+            raise ValueError(
+                f"labels shape {target.shape} does not match batch {pred.shape[0]}"
+            )
+        logp = F.log_softmax(pred, axis=1)
+        self._probs = np.exp(logp)
+        self._target = target
+        return float(-logp[np.arange(pred.shape[0]), target].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._target] -= 1.0
+        return grad / n
+
+
+class MSELoss(Loss):
+    """Mean squared error; used by the DDPG critic update."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.shape != np.asarray(target).shape:
+            raise ValueError(
+                f"pred shape {pred.shape} does not match target {np.shape(target)}"
+            )
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+def evaluate_loss(
+    model,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Average ``loss`` of ``model`` over a dataset without storing activations.
+
+    This is the inference pass clients run to produce the ``l_b`` / ``l_a``
+    state components of FedDRL; it is deliberately batched so large local
+    datasets do not blow up memory.
+    """
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot evaluate loss on an empty dataset")
+    total = 0.0
+    for start in range(0, n, batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        logits = model.forward(xb, training=False)
+        total += loss.forward(logits, yb) * xb.shape[0]
+    return total / n

@@ -1,0 +1,117 @@
+"""Sequential model container with flat-weight import/export.
+
+Federated aggregation operates on whole-model weight *vectors* (the
+``w_k`` the clients upload).  ``Sequential`` therefore exposes
+``get_flat_weights`` / ``set_flat_weights`` which (de)serialise every
+parameter — and, by default, every buffer such as BatchNorm running
+statistics — into a single contiguous float64 vector.  The layout is the
+deterministic layer-major order, so two models built by the same factory
+share the same layout and can be aggregated index-wise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss
+
+
+class Sequential:
+    """A plain stack of layers executed in order."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions without retaining activations."""
+        outs = [
+            self.forward(x[i : i + batch_size], training=False).argmax(axis=1)
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(outs) if outs else np.empty(0, dtype=int)
+
+    # -- parameter access ----------------------------------------------------
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(param, grad)`` pairs in deterministic layer-major order."""
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            for name in sorted(layer.params):
+                pairs.append((layer.params[name], layer.grads[name]))
+        return pairs
+
+    def param_arrays(self) -> list[np.ndarray]:
+        """The parameter arrays only (e.g. the FedProx anchor)."""
+        return [p for p, _ in self.parameters()]
+
+    def buffer_arrays(self) -> list[np.ndarray]:
+        """Non-learnable state arrays (BatchNorm running stats)."""
+        bufs: list[np.ndarray] = []
+        for layer in self.layers:
+            for name in sorted(layer.buffers):
+                bufs.append(layer.buffers[name])
+        return bufs
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def num_parameters(self, include_buffers: bool = False) -> int:
+        total = sum(p.size for p in self.param_arrays())
+        if include_buffers:
+            total += sum(b.size for b in self.buffer_arrays())
+        return total
+
+    # -- flat (de)serialisation ----------------------------------------------
+    def _all_arrays(self, include_buffers: bool) -> list[np.ndarray]:
+        arrays = self.param_arrays()
+        if include_buffers:
+            arrays += self.buffer_arrays()
+        return arrays
+
+    def get_flat_weights(self, include_buffers: bool = True) -> np.ndarray:
+        """Copy all weights into one contiguous float64 vector."""
+        arrays = self._all_arrays(include_buffers)
+        return np.concatenate([a.ravel() for a in arrays]) if arrays else np.empty(0)
+
+    def set_flat_weights(self, flat: np.ndarray, include_buffers: bool = True) -> None:
+        """Load a vector produced by :meth:`get_flat_weights` (in place)."""
+        arrays = self._all_arrays(include_buffers)
+        expected = sum(a.size for a in arrays)
+        flat = np.asarray(flat, dtype=float).ravel()
+        if flat.size != expected:
+            raise ValueError(
+                f"flat weight vector has {flat.size} entries, model expects {expected}"
+            )
+        offset = 0
+        for a in arrays:
+            a[...] = flat[offset : offset + a.size].reshape(a.shape)
+            offset += a.size
+
+    # -- training utilities ----------------------------------------------------
+    def train_batch(self, loss: Loss, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward pass; caller applies the optimiser step."""
+        logits = self.forward(x, training=True)
+        value = loss.forward(logits, y)
+        self.backward(loss.backward())
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Sequential([{inner}])"

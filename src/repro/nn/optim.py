@@ -1,0 +1,140 @@
+"""Optimisers operating in place on a model's parameter arrays.
+
+Optimisers hold references to ``(param, grad)`` pairs exported by
+:class:`repro.nn.model.Sequential.parameters`; ``step`` mutates the params
+in place (cheap, and keeps the arrays' identities stable for the flat
+weight views used by the FL aggregation code).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimiser over a list of ``(param, grad)`` array pairs."""
+
+    def __init__(self, parameters: list[tuple[np.ndarray, np.ndarray]], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for _, g in self.parameters:
+            g.fill(0.0)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    The paper's local solver: plain SGD, lr 0.01.
+    """
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = (
+            [np.zeros_like(p) for p, _ in self.parameters] if momentum > 0 else None
+        )
+
+    def step(self) -> None:
+        for i, (p, g) in enumerate(self.parameters):
+            update = g
+            if self.weight_decay:
+                update = update + self.weight_decay * p
+            if self._velocity is not None:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += update
+                update = v
+            p -= self.lr * update
+
+
+class ProximalSGD(SGD):
+    """SGD with the FedProx proximal term.
+
+    FedProx (Li et al., 2020) augments each client's local objective with
+    ``(mu/2) * ||w - w_global||^2``; the gradient contribution is
+    ``mu * (w - w_global)``.  ``set_anchor`` must be called with the global
+    weights at the start of each communication round.
+    """
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 0.01,
+        mu: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr=lr, momentum=momentum)
+        if mu < 0:
+            raise ValueError("proximal coefficient mu must be non-negative")
+        self.mu = mu
+        self._anchor: list[np.ndarray] | None = None
+
+    def set_anchor(self, anchor: list[np.ndarray]) -> None:
+        """Pin the proximal anchor (the round's global weights)."""
+        if len(anchor) != len(self.parameters):
+            raise ValueError("anchor does not match parameter count")
+        for a, (p, _) in zip(anchor, self.parameters):
+            if a.shape != p.shape:
+                raise ValueError("anchor shapes do not match parameters")
+        self._anchor = [a.copy() for a in anchor]
+
+    def step(self) -> None:
+        if self.mu > 0:
+            if self._anchor is None:
+                raise RuntimeError(
+                    "ProximalSGD.step called before set_anchor; FedProx needs "
+                    "the round's global weights as the proximal anchor"
+                )
+            for (p, g), a in zip(self.parameters, self._anchor):
+                g += self.mu * (p - a)
+        super().step()
+
+
+class Adam(Optimizer):
+    """Adam; used for the DDPG policy/value networks (Table 1 LRs)."""
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p, _ in self.parameters]
+        self._v = [np.zeros_like(p) for p, _ in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for i, (p, g) in enumerate(self.parameters):
+            m, v = self._m[i], self._v[i]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

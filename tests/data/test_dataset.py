@@ -1,0 +1,96 @@
+"""Tests for the dataset container and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, train_test_split
+
+
+def toy(n=20, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.normal(size=(n, 2, 3, 3)), rng.integers(0, classes, n), classes)
+
+
+class TestArrayDataset:
+    def test_len(self):
+        assert len(toy(17)) == 17
+
+    def test_label_counts_sum(self):
+        ds = toy(50)
+        counts = ds.label_counts()
+        assert counts.sum() == 50
+        assert counts.shape == (4,)
+
+    def test_subset_selects(self):
+        ds = toy(10)
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, ds.y[[1, 3, 5]])
+        np.testing.assert_array_equal(sub.x, ds.x[[1, 3, 5]])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_out_of_range_labels_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.array([0, 1, 5]), 3)
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.array([0, -1, 1]), 3)
+
+    def test_2d_labels_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros((3, 1), dtype=int), 2)
+
+    def test_labels_coerced_to_int64(self):
+        ds = ArrayDataset(np.zeros((3, 2)), np.array([0.0, 1.0, 1.0]), 2)
+        assert ds.y.dtype == np.int64
+
+
+class TestBatches:
+    def test_covers_all_samples_once(self):
+        ds = toy(23)
+        seen = []
+        for xb, yb in ds.batches(5):
+            assert xb.shape[0] == yb.shape[0]
+            seen.extend(yb.tolist())
+        assert len(seen) == 23
+
+    def test_unshuffled_is_in_order(self):
+        ds = toy(10)
+        batches = list(ds.batches(4))
+        np.testing.assert_array_equal(np.concatenate([y for _, y in batches]), ds.y)
+
+    def test_shuffled_is_permutation(self):
+        ds = toy(50)
+        rng = np.random.default_rng(1)
+        ys = np.concatenate([y for _, y in ds.batches(7, rng=rng)])
+        assert sorted(ys.tolist()) == sorted(ds.y.tolist())
+        assert not np.array_equal(ys, ds.y)  # astronomically unlikely to match
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(toy().batches(0))
+
+    def test_last_batch_may_be_short(self):
+        sizes = [xb.shape[0] for xb, _ in toy(10).batches(4)]
+        assert sizes == [4, 4, 2]
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        tr, te = train_test_split(toy(100), 0.25, np.random.default_rng(0))
+        assert len(te) == 25 and len(tr) == 75
+
+    def test_disjoint_and_complete(self):
+        ds = toy(40)
+        ds.x[:, 0, 0, 0] = np.arange(40)  # tag samples
+        tr, te = train_test_split(ds, 0.3, np.random.default_rng(0))
+        tags = np.concatenate([tr.x[:, 0, 0, 0], te.x[:, 0, 0, 0]])
+        assert sorted(tags.tolist()) == list(range(40))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(toy(), 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_test_split(toy(), 1.0, np.random.default_rng(0))

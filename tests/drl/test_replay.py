@@ -1,0 +1,133 @@
+"""Tests for the experience replay buffer and prioritised sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drl.replay import Experience, ReplayBuffer
+
+
+def exp(i: int, k: int = 2) -> Experience:
+    return Experience(
+        state=np.full(3 * k, float(i)),
+        action=np.zeros(2 * k),
+        reward=float(i),
+        next_state=np.full(3 * k, float(i + 1)),
+    )
+
+
+class TestExperience:
+    def test_coerces_to_arrays(self):
+        e = exp(0)
+        assert isinstance(e.state, np.ndarray)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Experience(np.zeros(3), np.zeros(2), 0.0, np.zeros(4))
+
+    def test_rejects_nonfinite_reward(self):
+        with pytest.raises(ValueError):
+            Experience(np.zeros(3), np.zeros(2), float("nan"), np.zeros(3))
+
+
+class TestReplayBuffer:
+    def test_add_and_len(self):
+        buf = ReplayBuffer(10)
+        for i in range(4):
+            buf.add(exp(i))
+        assert len(buf) == 4
+
+    def test_fifo_overwrite_at_capacity(self):
+        buf = ReplayBuffer(3)
+        for i in range(5):
+            buf.add(exp(i))
+        assert len(buf) == 3
+        rewards = sorted(e.reward for e in buf.items())
+        assert rewards == [2.0, 3.0, 4.0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+    def test_merge(self):
+        a, b = ReplayBuffer(10), ReplayBuffer(10)
+        a.add(exp(0))
+        b.add(exp(1))
+        b.add(exp(2))
+        a.merge(b)
+        assert len(a) == 3
+        assert len(b) == 2  # source untouched
+
+    def test_snapshot_shapes(self):
+        buf = ReplayBuffer(10)
+        for i in range(5):
+            buf.add(exp(i, k=3))
+        s, a, r, s2 = buf.snapshot()
+        assert s.shape == (5, 9) and a.shape == (5, 6) and r.shape == (5,)
+
+    def test_empty_operations_raise(self):
+        buf = ReplayBuffer(5)
+        with pytest.raises(ValueError):
+            buf.snapshot()
+        with pytest.raises(ValueError):
+            buf.sample_uniform(2, np.random.default_rng(0))
+
+
+class TestSampling:
+    def make_buffer(self, n=50):
+        buf = ReplayBuffer(100)
+        for i in range(n):
+            buf.add(exp(i))
+        return buf
+
+    def test_uniform_batch_shapes(self):
+        buf = self.make_buffer()
+        s, a, r, s2 = buf.sample_uniform(8, np.random.default_rng(0))
+        assert s.shape[0] == 8
+
+    def test_prioritized_requires_matching_length(self):
+        buf = self.make_buffer(10)
+        with pytest.raises(ValueError):
+            buf.sample_prioritized(4, np.ones(5), np.random.default_rng(0))
+
+    def test_prioritized_prefers_high_priority(self):
+        """Items with top priorities must be sampled far more often."""
+        buf = self.make_buffer(50)
+        priorities = np.zeros(50)
+        priorities[7] = 100.0  # rank 1
+        rng = np.random.default_rng(0)
+        counts = np.zeros(50)
+        for _ in range(200):
+            _, _, r, _ = buf.sample_prioritized(4, priorities, rng)
+            for val in r:
+                counts[int(val)] += 1
+        assert counts[7] == counts.max()
+        # Rank-based 1/rank: item 7 should take roughly 1/H_50 ~ 22% of draws.
+        assert counts[7] / counts.sum() > 0.1
+
+    def test_prioritized_still_explores_low_ranks(self):
+        buf = self.make_buffer(20)
+        priorities = np.arange(20, dtype=float)
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(300):
+            _, _, r, _ = buf.sample_prioritized(4, priorities, rng)
+            seen.update(int(v) for v in r)
+        assert len(seen) > 15  # low-priority items are not starved
+
+    def test_prioritized_deterministic_given_rng(self):
+        buf = self.make_buffer(20)
+        priorities = np.arange(20, dtype=float)
+        r1 = buf.sample_prioritized(6, priorities, np.random.default_rng(3))
+        r2 = buf.sample_prioritized(6, priorities, np.random.default_rng(3))
+        np.testing.assert_array_equal(r1[2], r2[2])
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=25, deadline=None)
+    def test_property_sampling_never_fails(self, batch, seed):
+        buf = self.make_buffer(12)
+        rng = np.random.default_rng(seed)
+        s, a, r, s2 = buf.sample_prioritized(batch, np.ones(12), rng)
+        assert s.shape[0] == batch
+        assert np.all(r >= 0) and np.all(r < 12)

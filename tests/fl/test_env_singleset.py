@@ -1,0 +1,128 @@
+"""Tests for the FederatedEnv adapter and the SingleSet baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import iid_partition
+from repro.drl.env import Environment
+from repro.fl.env import FederatedEnv, make_env_factory
+from repro.fl.simulation import FLConfig
+from repro.fl.singleset import train_singleset
+
+
+def make_env(clients, model_factory, rounds=3, k=4):
+    cfg = FLConfig(rounds=rounds, clients_per_round=k, local_epochs=1, lr=0.05,
+                   batch_size=16, seed=0)
+    return FederatedEnv(clients, model_factory, cfg, seed=0)
+
+
+class TestFederatedEnv:
+    def test_satisfies_protocol(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory)
+        assert isinstance(env, Environment)
+
+    def test_dimensions(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory, k=4)
+        assert env.state_dim == 12
+        assert env.n_clients == 4
+
+    def test_reset_returns_state(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory)
+        state = env.reset()
+        assert state.shape == (12,)
+        assert np.all(np.isfinite(state))
+        # Normalised sample fractions in the last K entries.
+        assert state[8:].sum() == pytest.approx(1.0)
+
+    def test_step_before_reset_raises(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory)
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(8))
+
+    def test_step_advances(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory)
+        env.reset()
+        action = np.concatenate([np.full(4, 0.5), np.zeros(4)])
+        state, reward, info = env.step(action)
+        assert state.shape == (12,)
+        assert reward < 0  # eq. (7) negated cost
+        assert info["round"] == 1
+        assert info["alphas"].sum() == pytest.approx(1.0)
+
+    def test_reward_matches_mean_plus_gap(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory)
+        env.reset()
+        action = np.concatenate([np.full(4, 0.5), np.zeros(4)])
+        _, reward, info = env.step(action)
+        lb = np.array([u.loss_before for u in env._updates])
+        assert reward == pytest.approx(-(lb.mean() + lb.max() - lb.min()))
+
+    def test_training_through_env_improves_losses(self, tiny_clients, tiny_model_factory):
+        """Uniform aggregation over several env steps should reduce the mean
+        client loss (the model is actually learning)."""
+        env = make_env(tiny_clients, tiny_model_factory)
+        env.reset()
+        action = np.concatenate([np.full(4, 0.5), np.zeros(4)])
+        first_mean = None
+        for _ in range(6):
+            _, _, info = env.step(action)
+            if first_mean is None:
+                first_mean = info["mean_loss"]
+        assert info["mean_loss"] < first_mean
+
+    def test_reset_restarts_fresh(self, tiny_clients, tiny_model_factory):
+        env = make_env(tiny_clients, tiny_model_factory)
+        env.reset()
+        action = np.concatenate([np.full(4, 0.5), np.zeros(4)])
+        env.step(action)
+        assert env.round_idx == 1
+        env.reset()
+        assert env.round_idx == 0
+
+
+class TestMakeEnvFactory:
+    def test_workers_get_independent_envs(self, tiny_data, tiny_model_factory):
+        from repro.data.synthetic import SyntheticImageSpec, make_synthetic_dataset
+
+        def dataset_builder(seed):
+            spec = SyntheticImageSpec(num_classes=4, channels=1, image_size=4)
+            tr, _ = make_synthetic_dataset(spec, 160, 20, np.random.default_rng(seed))
+            return tr
+
+        def partition_builder(labels, rng):
+            return iid_partition(labels, 5, rng)
+
+        cfg = FLConfig(rounds=2, clients_per_round=3, local_epochs=1, lr=0.05,
+                       batch_size=16, seed=0)
+        factory = make_env_factory(dataset_builder, partition_builder,
+                                   tiny_model_factory, cfg)
+        e0, e1 = factory(0), factory(1)
+        assert e0 is not e1
+        s0, s1 = e0.reset(), e1.reset()
+        assert not np.array_equal(s0, s1)  # different data realisations
+
+
+class TestSingleSet:
+    def test_records_per_epoch(self, tiny_data, tiny_model_factory):
+        train, test = tiny_data
+        result = train_singleset(train, test, tiny_model_factory, epochs=3, lr=0.05,
+                                 batch_size=16)
+        assert len(result.accuracies) == 3
+        assert len(result.losses) == 3
+
+    def test_learns_above_chance(self, tiny_data, tiny_model_factory):
+        train, test = tiny_data
+        result = train_singleset(train, test, tiny_model_factory, epochs=10, lr=0.05,
+                                 batch_size=16)
+        assert result.best_accuracy > 0.5  # chance 0.25
+
+    def test_zero_epochs_raises(self, tiny_data, tiny_model_factory):
+        train, test = tiny_data
+        with pytest.raises(ValueError):
+            train_singleset(train, test, tiny_model_factory, epochs=0)
+
+    def test_best_accuracy_empty_raises(self):
+        from repro.fl.singleset import SingleSetResult
+
+        with pytest.raises(ValueError):
+            SingleSetResult().best_accuracy

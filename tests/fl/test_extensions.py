@@ -1,0 +1,202 @@
+"""Tests for the Section 3.5 extension modules: compression, hierarchy,
+client selection."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import ClientUpdate
+from repro.fl.compression import (
+    CompressedClients,
+    SparseUpdate,
+    compress_round,
+    compress_update,
+    decompress_update,
+)
+from repro.fl.hierarchical import (
+    HierarchicalAggregator,
+    HierarchicalStrategy,
+    assign_edges,
+    edge_aggregate,
+)
+from repro.fl.selection import (
+    PowerOfChoiceSelection,
+    RoundRobinSelection,
+    UniformSelection,
+)
+from repro.fl.simulation import FederatedSimulation, FLConfig
+from repro.fl.strategies import FedAvg, FedDRL
+
+
+def dense_update(dim=50, seed=0, cid=0, n=10):
+    rng = np.random.default_rng(seed)
+    return ClientUpdate(cid, rng.normal(size=dim), 1.0, 0.5, n)
+
+
+class TestCompression:
+    def test_topk_keeps_largest_deltas(self):
+        g = np.zeros(6)
+        u = ClientUpdate(0, np.array([0.1, -5.0, 0.2, 3.0, 0.0, -0.3]), 1.0, 0.5, 10)
+        s = compress_update(u, g, k=2)
+        assert set(s.indices.tolist()) == {1, 3}
+        assert s.nnz == 2
+
+    def test_roundtrip_exact_when_k_equals_dim(self):
+        g = np.random.default_rng(1).normal(size=30)
+        u = dense_update(30, seed=2)
+        restored = decompress_update(compress_update(u, g, k=30), g)
+        np.testing.assert_allclose(restored.weights, u.weights)
+
+    def test_lossy_reconstruction_error_decreases_with_k(self):
+        g = np.zeros(100)
+        u = dense_update(100, seed=3)
+        errs = []
+        for k in (5, 20, 80):
+            restored = decompress_update(compress_update(u, g, k), g)
+            errs.append(float(np.linalg.norm(restored.weights - u.weights)))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_metadata_preserved(self):
+        g = np.zeros(10)
+        u = dense_update(10, seed=4, cid=7, n=42)
+        restored = decompress_update(compress_update(u, g, 3), g)
+        assert restored.client_id == 7
+        assert restored.n_samples == 42
+        assert restored.loss_before == u.loss_before
+
+    def test_compression_ratio(self):
+        g = np.zeros(1000)
+        s = compress_update(dense_update(1000, seed=5), g, k=10)
+        assert s.compression_ratio() == pytest.approx(1000 / 20)
+
+    def test_compress_round(self):
+        g = np.zeros(40)
+        ups = [dense_update(40, seed=i, cid=i) for i in range(3)]
+        restored, ratio = compress_round(ups, g, k=4)
+        assert len(restored) == 3
+        assert ratio == pytest.approx(40 / 8)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            compress_update(dense_update(), np.zeros(50), k=0)
+
+    def test_sparse_update_validation(self):
+        with pytest.raises(ValueError):
+            SparseUpdate(0, np.array([99]), np.array([1.0]), 10, 1.0, 0.5, 5)
+
+    def test_compressed_clients_in_simulation(self, tiny_clients, tiny_data, tiny_model_factory):
+        """The full loop runs with lossy uploads and still learns."""
+        _, test = tiny_data
+        pool = CompressedClients(tiny_clients, k=50)
+        cfg = FLConfig(rounds=6, clients_per_round=4, local_epochs=1, lr=0.05,
+                       batch_size=16, seed=0)
+        sim = FederatedSimulation(pool, test, tiny_model_factory, FedAvg(), cfg)
+        hist = sim.run()
+        assert hist.best_accuracy() > 0.3
+        assert len(pool.ratios) == 6 * 4
+        assert all(r > 1.0 for r in pool.ratios)
+
+
+class TestHierarchical:
+    def test_edge_aggregate_is_fedavg(self):
+        ups = [dense_update(10, seed=i, cid=i, n=10 * (i + 1)) for i in range(3)]
+        agg = edge_aggregate(ups, edge_id=0)
+        n = np.array([10.0, 20.0, 30.0])
+        expected = (n / n.sum()) @ np.stack([u.weights for u in ups])
+        np.testing.assert_allclose(agg.weights, expected)
+        assert agg.n_samples == 60
+
+    def test_assign_edges_round_robin(self):
+        edges = assign_edges([5, 2, 9, 0], n_edges=2)
+        assert set(edges.values()) <= {0, 1}
+        assert sorted(edges) == [0, 2, 5, 9]
+
+    def test_aggregator_two_levels(self):
+        ups = [dense_update(20, seed=i, cid=i) for i in range(6)]
+        agg = HierarchicalAggregator(FedAvg(), n_edges=3)
+        weights, edge_ups = agg.aggregate(ups, 0)
+        assert weights.shape == (20,)
+        assert len(edge_ups) == 3
+        assert sum(e.n_samples for e in edge_ups) == sum(u.n_samples for u in ups)
+
+    def test_aggregator_needs_enough_updates(self):
+        agg = HierarchicalAggregator(FedAvg(), n_edges=5)
+        with pytest.raises(ValueError):
+            agg.aggregate([dense_update()], 0)
+
+    def test_hierarchical_equals_flat_for_fedavg(self):
+        """FedAvg is associative over sample counts, so (edge FedAvg +
+        cloud FedAvg) must equal flat FedAvg exactly."""
+        from repro.fl.strategies.base import combine_updates
+
+        ups = [dense_update(15, seed=i, cid=i, n=5 * (i + 1)) for i in range(6)]
+        flat = combine_updates(ups, FedAvg().impact_factors(ups, 0))
+        hier, _ = HierarchicalAggregator(FedAvg(), n_edges=2).aggregate(ups, 0)
+        np.testing.assert_allclose(hier, flat, atol=1e-12)
+
+    def test_hierarchical_strategy_in_simulation(self, tiny_clients, tiny_data, tiny_model_factory):
+        """Hierarchical FedDRL (Sec. 3.5 claim): cloud FedDRL over 2 edges."""
+        from repro.drl.agent import DRLConfig
+
+        _, test = tiny_data
+        cloud = FedDRL(clients_per_round=2,  # = n_edges
+                       drl_config=DRLConfig(min_buffer=2, batch_size=2, updates_per_round=1),
+                       seed=0)
+        strat = HierarchicalStrategy(cloud, n_edges=2)
+        cfg = FLConfig(rounds=5, clients_per_round=4, local_epochs=1, lr=0.05,
+                       batch_size=16, seed=0)
+        sim = FederatedSimulation(tiny_clients, test, tiny_model_factory, strat, cfg)
+        hist = sim.run()
+        assert len(hist.records) == 5
+        # Cloud agent collected transitions over edge pseudo-clients.
+        assert len(cloud.agent.buffer) == 4
+        for rec in hist.records:
+            assert rec.impact_factors.sum() == pytest.approx(1.0)
+
+
+class TestSelection:
+    def test_uniform_distinct(self):
+        sel = UniformSelection(np.random.default_rng(0))
+        for t in range(5):
+            picked = sel.select(10, 4, t)
+            assert len(set(picked)) == 4
+
+    def test_round_robin_cycles_everyone(self):
+        sel = RoundRobinSelection()
+        seen = set()
+        for t in range(5):
+            seen.update(sel.select(10, 4, t))
+        assert seen == set(range(10))
+
+    def test_power_of_choice_prefers_high_loss(self):
+        sel = PowerOfChoiceSelection(np.random.default_rng(0), candidate_factor=10)
+        # After observing losses, the worst-off clients get picked.
+        sel.observe(list(range(10)), np.array([0, 0, 0, 0, 0, 0, 0, 0, 9.0, 8.0]))
+        picked = sel.select(10, 2, 0)
+        assert set(picked) == {8, 9}
+
+    def test_power_of_choice_visits_unknown_first(self):
+        sel = PowerOfChoiceSelection(np.random.default_rng(0), candidate_factor=10)
+        sel.observe([0, 1, 2], np.array([5.0, 5.0, 5.0]))
+        picked = sel.select(5, 2, 0)
+        # Clients 3 and 4 have unknown (=inf) loss and outrank known ones.
+        assert set(picked) == {3, 4}
+
+    def test_selection_validation(self):
+        with pytest.raises(ValueError):
+            UniformSelection(np.random.default_rng(0)).select(3, 5, 0)
+        with pytest.raises(ValueError):
+            RoundRobinSelection().select(3, 5, 0)
+        with pytest.raises(ValueError):
+            PowerOfChoiceSelection(np.random.default_rng(0), candidate_factor=0)
+
+    def test_selector_plugs_into_simulation(self, tiny_clients, tiny_data, tiny_model_factory):
+        _, test = tiny_data
+        cfg = FLConfig(rounds=3, clients_per_round=4, local_epochs=1, lr=0.05,
+                       batch_size=16, seed=0)
+        sim = FederatedSimulation(
+            tiny_clients, test, tiny_model_factory, FedAvg(), cfg,
+            selector=RoundRobinSelection(),
+        )
+        hist = sim.run()
+        first_round = hist.records[0].participants
+        assert first_round == [0, 1, 2, 3]  # deterministic round-robin

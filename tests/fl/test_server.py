@@ -1,0 +1,99 @@
+"""Tests for the stand-alone FederatedServer facade."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import ClientUpdate
+from repro.fl.server import FederatedServer
+from repro.fl.strategies import FedAvg, FedDRL
+
+
+def make_server(tiny_model_factory, strategy=None):
+    return FederatedServer(tiny_model_factory, strategy or FedAvg(), seed=0)
+
+
+def updates_for(server, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    dim = server.model_dim
+    return [
+        ClientUpdate(i, rng.normal(size=dim), 1.0 + i, 0.5, 10 * (i + 1))
+        for i in range(k)
+    ]
+
+
+class TestBroadcast:
+    def test_returns_copy(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        w = server.broadcast()
+        w[:] = 999.0
+        assert not np.array_equal(server.global_weights, w)
+
+    def test_matches_global(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        np.testing.assert_array_equal(server.broadcast(), server.global_weights)
+
+
+class TestAggregate:
+    def test_advances_round_and_updates_weights(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        w0 = server.global_weights.copy()
+        new = server.aggregate(updates_for(server))
+        assert server.round_idx == 1
+        assert not np.array_equal(new, w0)
+        np.testing.assert_array_equal(new, server.global_weights)
+
+    def test_fedavg_weighting(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        ups = updates_for(server)
+        new = server.aggregate(ups)
+        n = np.array([u.n_samples for u in ups], dtype=float)
+        alphas = n / n.sum()
+        expected = alphas @ np.stack([u.weights for u in ups])
+        np.testing.assert_allclose(new, expected)
+
+    def test_rejects_empty(self, tiny_model_factory):
+        with pytest.raises(ValueError):
+            make_server(tiny_model_factory).aggregate([])
+
+    def test_rejects_dimension_mismatch(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        bad = [ClientUpdate(0, np.zeros(3), 1.0, 0.5, 10)]
+        with pytest.raises(ValueError, match="uploaded"):
+            server.aggregate(bad)
+
+    def test_records_timing_split(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        server.aggregate(updates_for(server))
+        assert len(server.impact_times) == 1
+        assert len(server.aggregation_times) == 1
+        assert server.impact_times[0] >= 0
+
+    def test_works_with_feddrl(self, tiny_model_factory):
+        strat = FedDRL(clients_per_round=3, seed=0, online_training=False)
+        server = make_server(tiny_model_factory, strat)
+        for t in range(3):
+            server.aggregate(updates_for(server, k=3, seed=t))
+        assert server.round_idx == 3
+        assert len(strat.agent.buffer) == 2  # rounds - 1 transitions
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        server.aggregate(updates_for(server))
+        state = server.state_dict()
+        server2 = make_server(tiny_model_factory)
+        server2.load_state_dict(state)
+        np.testing.assert_array_equal(server2.global_weights, server.global_weights)
+        assert server2.round_idx == 1
+
+    def test_state_dict_detached(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        state = server.state_dict()
+        server.aggregate(updates_for(server))
+        assert not np.array_equal(state["global_weights"], server.global_weights)
+
+    def test_load_rejects_wrong_dim(self, tiny_model_factory):
+        server = make_server(tiny_model_factory)
+        with pytest.raises(ValueError):
+            server.load_state_dict({"global_weights": np.zeros(3), "round_idx": 0})

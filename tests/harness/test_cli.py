@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "mnist"
+        assert args.method == "feddrl"
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--method", "fedsgd"])
+
+
+class TestMain:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "mnist" in out and "feddrl" in out and "CE" in out
+
+    def test_runs_experiment_text(self, capsys):
+        code = main([
+            "--dataset", "mnist", "--partition", "CE", "--method", "fedavg",
+            "--scale", "ci", "--clients", "5", "--per-round", "5",
+            "--rounds", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best top-1 accuracy" in out
+
+    def test_runs_experiment_json(self, capsys):
+        code = main([
+            "--dataset", "mnist", "--partition", "IID", "--method", "fedavg",
+            "--scale", "ci", "--clients", "5", "--per-round", "5",
+            "--rounds", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["best_accuracy"] <= 1.0
+        assert len(payload["accuracy_series"]) == 2
+
+    def test_singleset_json_has_no_series(self, capsys):
+        main([
+            "--method", "singleset", "--scale", "ci", "--clients", "5",
+            "--per-round", "5", "--rounds", "2", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert "accuracy_series" not in payload

@@ -1,0 +1,78 @@
+"""Tests for the two-stage pretraining path of the runner and ablations."""
+
+import numpy as np
+import pytest
+
+from repro.harness.ablations import (
+    ablation_fairness_weight,
+    ablation_replay_strategy,
+    ablation_sigma_beta,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import build_strategy, pretrain_feddrl_agent, run_experiment
+
+FAST = dict(scale="ci", n_clients=5, clients_per_round=5)
+
+
+class TestPretrainPath:
+    def test_build_strategy_with_pretraining(self):
+        cfg = ExperimentConfig(
+            method="feddrl", drl_pretrain_rounds=3, drl_pretrain_workers=2,
+            drl_offline_updates=5, **FAST,
+        ).with_(rounds=2, n_train=150, n_test=60)
+        strat = build_strategy(cfg)
+        # The injected agent carries pretraining experience and updates.
+        assert len(strat.agent.buffer) == 2 * 3
+        assert strat.agent.total_updates >= 5
+        # Exploration is dialled down after pretraining.
+        assert strat.agent.noise_scale <= 0.05
+
+    def test_pretrained_experiment_runs(self):
+        cfg = ExperimentConfig(
+            method="feddrl", drl_pretrain_rounds=2, drl_offline_updates=3, **FAST,
+        ).with_(rounds=2, n_train=150, n_test=60)
+        result = run_experiment(cfg)
+        assert 0.0 <= result.best_accuracy <= 1.0
+
+    def test_workers_see_different_data(self):
+        """Each pretraining worker must get an independent realisation."""
+        from repro.drl.agent import DRLConfig
+
+        cfg = ExperimentConfig(
+            method="feddrl", drl_pretrain_rounds=2, **FAST,
+        ).with_(rounds=2, n_train=150, n_test=60)
+        drl_cfg = DRLConfig(min_buffer=8, batch_size=8)
+        agent = pretrain_feddrl_agent(cfg, drl_cfg)
+        items = agent.buffer.items()
+        # Transitions from different workers have different states.
+        assert not np.array_equal(items[0].state, items[2].state)
+
+    def test_zero_pretraining_means_fresh_agent(self):
+        cfg = ExperimentConfig(method="feddrl", drl_pretrain_rounds=0, **FAST)
+        strat = build_strategy(cfg)
+        assert len(strat.agent.buffer) == 0
+        assert strat.agent.total_updates == 0
+
+
+class TestAblationHelpers:
+    def test_replay_ablation_ci(self):
+        out = ablation_replay_strategy(
+            dataset="mnist", partition="CE", scale="ci", n_clients=5,
+            seed=0, rounds=3,
+        )
+        assert set(out) == {"td_prioritized", "uniform"}
+
+    def test_fairness_ablation_ci(self):
+        out = ablation_fairness_weight(
+            weights=(0.0, 1.0), dataset="mnist", partition="CE", scale="ci",
+            n_clients=5, seed=0, rounds=3,
+        )
+        for metrics in out.values():
+            assert {"best_accuracy", "final_loss_variance"} <= set(metrics)
+
+    def test_beta_ablation_ci(self):
+        out = ablation_sigma_beta(
+            betas=(0.1, 0.9), dataset="mnist", partition="CE", scale="ci",
+            n_clients=5, seed=0, rounds=3,
+        )
+        assert set(out) == {0.1, 0.9}

@@ -1,0 +1,78 @@
+"""Tests for the result-reporting helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.reporting import (
+    compare_methods,
+    history_to_dict,
+    load_results_json,
+    result_to_dict,
+    results_to_markdown,
+    save_results_json,
+)
+from repro.harness.runner import run_experiment
+
+FAST = dict(scale="ci", n_clients=5, clients_per_round=5)
+
+
+@pytest.fixture(scope="module")
+def fed_result():
+    cfg = ExperimentConfig(method="fedavg", **FAST).with_(rounds=2)
+    return run_experiment(cfg)
+
+
+@pytest.fixture(scope="module")
+def single_result():
+    cfg = ExperimentConfig(method="singleset", **FAST).with_(rounds=2)
+    return run_experiment(cfg)
+
+
+class TestHistoryToDict:
+    def test_fields(self, fed_result):
+        d = history_to_dict(fed_result.history)
+        assert d["rounds"] == 2
+        assert d["best_accuracy"] == fed_result.best_accuracy
+        assert len(d["accuracy_series"]) == 2
+        assert d["mean_impact_time_ms"] >= 0
+
+    def test_json_serialisable(self, fed_result):
+        json.dumps(history_to_dict(fed_result.history))
+
+
+class TestResultToDict:
+    def test_includes_config(self, fed_result):
+        d = result_to_dict(fed_result)
+        assert d["config"]["method"] == "fedavg"
+        assert d["config"]["rounds"] == 2
+        assert "history" in d
+
+    def test_singleset_has_extra_not_history(self, single_result):
+        d = result_to_dict(single_result)
+        assert "history" not in d
+        assert "extra" in d
+        json.dumps(d)  # ndarray-free
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, fed_result, single_result, tmp_path):
+        path = save_results_json([fed_result, single_result], tmp_path / "r.json")
+        loaded = load_results_json(path)
+        assert len(loaded) == 2
+        assert loaded[0]["best_accuracy"] == fed_result.best_accuracy
+
+
+class TestMarkdownAndCompare:
+    def test_markdown_table(self, fed_result):
+        md = results_to_markdown([fed_result], title="T")
+        assert md.startswith("## T")
+        assert "| fedavg |" in md.replace("  ", " ")
+        assert f"{fed_result.best_accuracy:.4f}" in md
+
+    def test_compare_methods(self, fed_result, single_result):
+        out = compare_methods([fed_result, single_result])
+        assert set(out) == {"fedavg", "singleset"}
+        assert out["fedavg"] == fed_result.best_accuracy

@@ -1,0 +1,146 @@
+"""Tests for table/figure generators (run at ci scale with tiny grids)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.convergence import convergence_table, rounds_to_target
+from repro.harness.figures import (
+    accuracy_timeline,
+    noniid_sweep,
+    participation_sweep,
+    partition_figure,
+    server_overhead_figure,
+    smooth_series,
+)
+from repro.harness.runner import run_experiment
+from repro.harness.tables import format_accuracy_table, improvements, table3, table4
+
+
+class TestImprovements:
+    def test_relative_improvement(self):
+        cell = {"fedavg": 0.50, "fedprox": 0.60, "feddrl": 0.66}
+        a, b = improvements(cell)
+        assert a == pytest.approx(10.0)  # vs best baseline 0.60
+        assert b == pytest.approx(32.0)  # vs worst baseline 0.50
+
+    def test_requires_feddrl(self):
+        with pytest.raises(ValueError):
+            improvements({"fedavg": 0.5})
+
+
+class TestTable3:
+    def test_tiny_grid_structure(self):
+        res = table3(
+            scale="ci", datasets=("mnist",), partitions=("CE",),
+            client_counts=(5,), methods=("fedavg", "feddrl"), seed=0,
+        )
+        assert set(res) == {5}
+        assert set(res[5]) == {"mnist"}
+        assert set(res[5]["mnist"]) == {"CE"}
+        cell = res[5]["mnist"]["CE"]
+        assert set(cell) == {"fedavg", "feddrl"}
+        assert all(0 <= v <= 1 for v in cell.values())
+
+    def test_formatting_contains_methods(self):
+        res = {10: {"mnist": {"CE": {"fedavg": 0.8, "fedprox": 0.81, "feddrl": 0.85}}}}
+        text = format_accuracy_table(res, "Table 3")
+        assert "fedavg" in text and "feddrl" in text
+        assert "impr.(a)" in text and "impr.(b)" in text
+        assert "85.00%" in text
+
+
+class TestTable4:
+    def test_shard_partitions_run(self):
+        res = table4(scale="ci", client_counts=(5,), methods=("fedavg", "feddrl"), seed=0)
+        assert set(res[5]["cifar100"]) == {"EQUAL", "NONEQUAL"}
+
+
+class TestPartitionFigure:
+    @pytest.mark.parametrize("name", ["PA", "CE", "CN"])
+    def test_matrix_and_ascii(self, name):
+        fig = partition_figure(name, n_clients=8, num_classes=8, n_samples=800)
+        assert fig["matrix"].shape == (8, 8)
+        assert fig["matrix"].sum() <= 800
+        assert len(fig["ascii"].splitlines()) == 8
+
+    def test_ce_shows_cluster_block_structure(self):
+        fig = partition_figure("CE", n_clients=10, num_classes=10, n_samples=4000, delta=0.6)
+        mat = fig["matrix"]
+        # Main-cluster clients (0..5) and others hold disjoint labels.
+        main_labels = set(np.flatnonzero(mat[:, :6].sum(axis=1) > 0).tolist())
+        rest_labels = set(np.flatnonzero(mat[:, 6:].sum(axis=1) > 0).tolist())
+        assert not (main_labels & rest_labels)
+
+
+class TestTimelineAndSweeps:
+    def test_accuracy_timeline_keys(self):
+        series = accuracy_timeline(
+            dataset="mnist", partition="CE", methods=("fedavg", "feddrl"),
+            scale="ci", n_clients=5, rounds=3,
+        )
+        assert set(series) == {"fedavg", "feddrl"}
+        assert len(series["fedavg"]) == 3
+        rounds = [r for r, _ in series["fedavg"]]
+        assert rounds == sorted(rounds)
+
+    def test_smooth_series(self):
+        raw = [(i, float(i % 2)) for i in range(10)]
+        smoothed = smooth_series(raw, window=4)
+        values = [v for _, v in smoothed]
+        assert np.var(values) < np.var([v for _, v in raw])
+
+    def test_smooth_series_edge_cases(self):
+        assert smooth_series([], 5) == []
+        with pytest.raises(ValueError):
+            smooth_series([(0, 1.0)], 0)
+
+    def test_participation_sweep(self):
+        out = participation_sweep(
+            k_values=(2, 4), dataset="mnist", partition="CE", n_clients=6,
+            methods=("fedavg",), scale="ci", rounds=2,
+        )
+        assert set(out) == {2, 4}
+        assert "fedavg" in out[2]
+
+    def test_participation_sweep_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            participation_sweep(k_values=(10,), n_clients=5, scale="ci",
+                                methods=("fedavg",))
+
+    def test_noniid_sweep(self):
+        out = noniid_sweep(
+            deltas=(0.3, 0.6), dataset="mnist", partition="CE", n_clients=6,
+            methods=("fedavg",), scale="ci", rounds=2,
+        )
+        assert set(out) == {0.3, 0.6}
+
+
+class TestOverheadFigure:
+    def test_shapes_and_growth(self):
+        out = server_overhead_figure(model_dims=(1_000, 200_000), n_clients=5, repeats=3)
+        assert set(out) == {1_000, 200_000}
+        for dim in out:
+            assert out[dim]["drl_ms"] > 0
+        # Aggregation cost grows with model size; DRL inference does not
+        # scale with it (generous bound — wall-clock noise under load).
+        assert out[200_000]["aggregation_ms"] > out[1_000]["aggregation_ms"]
+        assert out[200_000]["drl_ms"] < out[1_000]["drl_ms"] * 20 + 5.0
+
+
+class TestConvergence:
+    def test_rounds_to_target(self):
+        cfg = ExperimentConfig(dataset="mnist", partition="IID", method="fedavg",
+                               scale="ci", n_clients=5, clients_per_round=5, rounds=4)
+        hist = run_experiment(cfg).history
+        assert rounds_to_target(hist, 0.0) == 0
+        assert rounds_to_target(hist, 1.01) is None
+
+    def test_convergence_table_structure(self):
+        out = convergence_table(
+            dataset="mnist", partition="CE", methods=("fedavg", "feddrl"),
+            scale="ci", n_clients=5, rounds=3,
+        )
+        assert set(out["rounds"]) == {"fedavg", "feddrl"}
+        assert out["relative"]["feddrl"] == pytest.approx(1.0)
+        assert 0 <= out["target"] <= 1

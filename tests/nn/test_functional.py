@@ -1,0 +1,135 @@
+"""Unit tests for the stateless numerical kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(7, 5))
+        p = F.softmax(x, axis=1)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), atol=1e-12)
+
+    def test_handles_large_values(self):
+        x = np.array([[1000.0, 1000.0]])
+        np.testing.assert_allclose(F.softmax(x), [[0.5, 0.5]])
+
+    def test_matches_log_softmax(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(np.log(F.softmax(x)), F.log_softmax(x), atol=1e-10)
+
+    @given(arrays(float, (3, 4), elements=st.floats(-50, 50)))
+    @settings(max_examples=30, deadline=None)
+    def test_property_positive_and_normalized(self, x):
+        p = F.softmax(x, axis=1)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, 3, 3, stride=1, pad=0)
+        assert cols.shape == (2 * 4 * 4, 3 * 9)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        cols = F.im2col(x, 1, 1)
+        # 1x1 im2col is a transpose-reshape of the input.
+        expected = x.transpose(0, 2, 3, 1).reshape(-1, 3)
+        np.testing.assert_allclose(cols, expected)
+
+    def test_values_against_naive(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        kh = kw = 3
+        cols = F.im2col(x, kh, kw, stride=2, pad=1)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        row = 0
+        for i in range(0, 5 + 2 - kh + 1, 2):
+            for j in range(0, 5 + 2 - kw + 1, 2):
+                patch = xp[0, :, i : i + kh, j : j + kw].ravel()
+                np.testing.assert_allclose(cols[row], patch)
+                row += 1
+
+    def test_too_large_kernel_raises(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        with pytest.raises(ValueError):
+            F.im2col(x, 5, 5)
+
+    def test_col2im_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint identity."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        for stride, pad in [(1, 0), (2, 1), (1, 1)]:
+            cols = F.im2col(x, 3, 3, stride, pad)
+            y = rng.normal(size=cols.shape)
+            lhs = float(np.sum(cols * y))
+            back = F.col2im(y, x.shape, 3, 3, stride, pad)
+            rhs = float(np.sum(x * back))
+            assert abs(lhs - rhs) < 1e-8
+
+
+class TestActivationKernels:
+    def test_leaky_relu_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(F.leaky_relu(x, 0.1), [-0.2, 0.0, 3.0])
+
+    def test_sigmoid_extremes(self):
+        assert F.sigmoid(np.array([500.0]))[0] == pytest.approx(1.0)
+        assert F.sigmoid(np.array([-500.0]))[0] == pytest.approx(0.0)
+
+    def test_sigmoid_symmetry(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_allclose(F.sigmoid(x) + F.sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_softplus_positive_and_asymptotic(self, rng):
+        x = rng.normal(scale=5, size=50)
+        sp = F.softplus(x)
+        assert np.all(sp > 0)
+        big = np.array([100.0])
+        np.testing.assert_allclose(F.softplus(big), big)
+
+    def test_softplus_grad_is_sigmoid(self, rng):
+        x = rng.normal(size=10)
+        np.testing.assert_allclose(F.softplus_grad(x), F.sigmoid(x))
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self, rng):
+        g = [rng.normal(size=3) * 0.01]
+        before = g[0].copy()
+        F.clip_grad_norm(g, 10.0)
+        np.testing.assert_array_equal(g[0], before)
+
+    def test_clips_to_max_norm(self, rng):
+        g = [rng.normal(size=100), rng.normal(size=50)]
+        F.clip_grad_norm(g, 1.0)
+        total = np.sqrt(sum(float(np.sum(x * x)) for x in g))
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_returns_preclip_norm(self):
+        g = [np.array([3.0, 4.0])]
+        norm = F.clip_grad_norm(g, 1.0)
+        assert norm == pytest.approx(5.0)

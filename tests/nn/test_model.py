@@ -1,0 +1,165 @@
+"""Tests for the Sequential container and flat-weight (de)serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import BatchNorm1d, Dense, Flatten, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
+from repro.nn.optim import SGD
+from tests.conftest import assert_grad_close, numerical_gradient
+
+
+def small_net(rng):
+    return Sequential([Dense(4, 8, rng), ReLU(), Dense(8, 3, rng)])
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        assert small_net(rng).forward(rng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_end_to_end_gradient(self, rng):
+        model = small_net(rng)
+        x = rng.normal(size=(6, 4))
+        y = rng.integers(0, 3, size=6)
+        loss = SoftmaxCrossEntropy()
+
+        def f():
+            return loss.forward(model.forward(x, training=True), y)
+
+        model.zero_grad()
+        f()
+        model.backward(loss.backward())
+        for p, g in model.parameters():
+            numeric = numerical_gradient(f, p)
+            assert_grad_close(g, numeric)
+
+    def test_empty_layer_list_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_predict_matches_argmax(self, rng):
+        model = small_net(rng)
+        x = rng.normal(size=(23, 4))
+        np.testing.assert_array_equal(
+            model.predict(x, batch_size=7), model.forward(x).argmax(axis=1)
+        )
+
+    def test_train_batch_returns_loss_and_fills_grads(self, rng):
+        model = small_net(rng)
+        model.zero_grad()
+        value = model.train_batch(
+            SoftmaxCrossEntropy(), rng.normal(size=(4, 4)), rng.integers(0, 3, size=4)
+        )
+        assert value > 0
+        assert any(np.abs(g).sum() > 0 for _, g in model.parameters())
+
+
+class TestFlatWeights:
+    def test_roundtrip(self, rng):
+        model = small_net(rng)
+        flat = model.get_flat_weights()
+        model2 = small_net(np.random.default_rng(999))
+        model2.set_flat_weights(flat)
+        np.testing.assert_array_equal(model2.get_flat_weights(), flat)
+
+    def test_roundtrip_preserves_predictions(self, rng):
+        model = small_net(rng)
+        x = rng.normal(size=(10, 4))
+        expected = model.forward(x)
+        clone = small_net(np.random.default_rng(1))
+        clone.set_flat_weights(model.get_flat_weights())
+        np.testing.assert_allclose(clone.forward(x), expected)
+
+    def test_size_matches_num_parameters(self, rng):
+        model = small_net(rng)
+        assert model.get_flat_weights(include_buffers=False).size == model.num_parameters()
+
+    def test_includes_batchnorm_buffers(self, rng):
+        model = Sequential([Dense(4, 4, rng), BatchNorm1d(4), Dense(4, 2, rng)])
+        with_buf = model.get_flat_weights(include_buffers=True)
+        without = model.get_flat_weights(include_buffers=False)
+        assert with_buf.size == without.size + 8  # running mean + var
+
+    def test_buffer_state_transfers(self, rng):
+        model = Sequential([BatchNorm1d(3)])
+        x = rng.normal(loc=4.0, size=(64, 3))
+        for _ in range(10):
+            model.forward(x, training=True)
+        clone = Sequential([BatchNorm1d(3)])
+        clone.set_flat_weights(model.get_flat_weights())
+        np.testing.assert_allclose(
+            clone.layers[0].buffers["running_mean"],
+            model.layers[0].buffers["running_mean"],
+        )
+
+    def test_wrong_size_raises(self, rng):
+        model = small_net(rng)
+        with pytest.raises(ValueError):
+            model.set_flat_weights(np.zeros(3))
+
+    def test_set_is_in_place(self, rng):
+        """Optimisers hold references to parameter arrays; set_flat_weights
+        must write through those same arrays."""
+        model = small_net(rng)
+        opt = SGD(model.parameters(), lr=0.1)
+        before_ids = [id(p) for p, _ in opt.parameters]
+        model.set_flat_weights(np.zeros(model.get_flat_weights().size))
+        after_ids = [id(p) for p, _ in model.parameters()]
+        assert before_ids == after_ids
+        assert all(np.all(p == 0) for p, _ in opt.parameters)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip_any_seed(self, seed):
+        r = np.random.default_rng(seed)
+        model = small_net(r)
+        flat = r.normal(size=model.get_flat_weights().size)
+        model.set_flat_weights(flat)
+        np.testing.assert_allclose(model.get_flat_weights(), flat)
+
+
+class TestModelZoo:
+    def test_mlp_shapes(self, rng):
+        model = mlp(64, 10, rng, hidden=(32,))
+        assert model.forward(rng.normal(size=(3, 1, 8, 8))).shape == (3, 10)
+
+    def test_simple_cnn_shapes(self, rng):
+        model = simple_cnn(1, 8, 10, rng)
+        assert model.forward(rng.normal(size=(2, 1, 8, 8))).shape == (2, 10)
+
+    def test_vgg_mini_shapes(self, rng):
+        model = vgg_mini(3, 8, 20, rng)
+        assert model.forward(rng.normal(size=(2, 3, 8, 8))).shape == (2, 20)
+
+    def test_vgg11_shapes(self, rng):
+        model = vgg11(3, 32, 100, rng)
+        assert model.forward(rng.normal(size=(1, 3, 32, 32))).shape == (1, 100)
+
+    def test_vgg11_rejects_bad_size(self, rng):
+        with pytest.raises(ValueError):
+            vgg11(3, 30, 100, rng)
+
+    def test_same_seed_same_init(self):
+        a = simple_cnn(1, 8, 10, np.random.default_rng(5))
+        b = simple_cnn(1, 8, 10, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.get_flat_weights(), b.get_flat_weights())
+
+    def test_simple_cnn_trains_on_toy_task(self, rng):
+        """End-to-end learnability: the CNN should fit 2-class toy images."""
+        n = 80
+        x = rng.normal(size=(n, 1, 8, 8)) * 0.1
+        y = rng.integers(0, 2, size=n)
+        x[y == 1, :, :4, :] += 1.0  # class-1 images bright on top
+        model = simple_cnn(1, 8, 2, rng, channels=(4, 8), dense=16)
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(model.parameters(), lr=0.05)
+        for _ in range(30):
+            model.zero_grad()
+            model.train_batch(loss, x, y)
+            opt.step()
+        acc = float(np.mean(model.predict(x) == y))
+        assert acc > 0.9

@@ -1,0 +1,180 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down the invariants the whole reproduction rests on:
+aggregation stays on the convex hull, impact factors stay on the simplex,
+flat-weight (de)serialisation is lossless for every architecture,
+partitions never duplicate samples, and the reward orders loss profiles
+the way eq. (7) intends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.partition import PARTITIONERS, validate_partition
+from repro.drl.action import impact_factors_from_action
+from repro.drl.networks import make_policy_network, soft_update
+from repro.drl.reward import feddrl_reward
+from repro.fl.client import ClientUpdate
+from repro.fl.strategies import FedAvg
+from repro.fl.strategies.base import build_state, combine_updates
+from repro.nn.models import mlp, simple_cnn, vgg_mini
+
+
+# -- aggregation ---------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=8),
+    dim=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_fedavg_aggregation_idempotent_on_identical_weights(seed, k, dim):
+    """If every client uploads the same weights, any valid impact-factor
+    vector must return exactly those weights."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=dim)
+    ups = [ClientUpdate(i, w.copy(), 1.0, 0.5, int(rng.integers(1, 100))) for i in range(k)]
+    out = combine_updates(ups, FedAvg().impact_factors(ups, 0))
+    np.testing.assert_allclose(out, w, atol=1e-12)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_aggregation_linear_in_weights(seed):
+    """combine(W + c, alpha) == combine(W, alpha) + c — linearity of eq. 4."""
+    rng = np.random.default_rng(seed)
+    ups = [ClientUpdate(i, rng.normal(size=10), 1.0, 0.5, 5) for i in range(4)]
+    alphas = rng.dirichlet(np.ones(4))
+    base = combine_updates(ups, alphas)
+    shifted = [
+        ClientUpdate(u.client_id, u.weights + 3.0, u.loss_before, u.loss_after, u.n_samples)
+        for u in ups
+    ]
+    np.testing.assert_allclose(combine_updates(shifted, alphas), base + 3.0, atol=1e-10)
+
+
+# -- impact factors --------------------------------------------------------------
+
+@given(
+    mu=arrays(float, 6, elements=st.floats(-1, 1)),
+    sig=arrays(float, 6, elements=st.floats(0, 0.5)),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_impact_factors_simplex_for_all_valid_actions(mu, sig, seed):
+    action = np.concatenate([mu, sig])
+    alpha = impact_factors_from_action(action, 6, np.random.default_rng(seed), beta=0.5)
+    assert np.all(alpha >= 0)
+    assert alpha.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@given(seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=20, deadline=None)
+def test_policy_network_outputs_always_valid_actions(seed):
+    """Any state (including extreme losses) maps to a constraint-satisfying
+    action — the structural guarantee of the Gaussian policy head."""
+    rng = np.random.default_rng(seed)
+    net = make_policy_network(9, 3, rng, hidden=32, beta=0.5)
+    states = rng.normal(scale=100.0, size=(16, 9))  # wildly out-of-scale states
+    out = net.forward(states)
+    mu, sigma = out[:, :3], out[:, 3:]
+    assert np.all(np.abs(mu) <= 1.0)
+    assert np.all(sigma >= 0)
+    assert np.all(sigma <= 0.5 * np.abs(mu) + 1e-12)
+
+
+# -- state construction -----------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    k=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_state_dimensions_and_fractions(seed, k):
+    rng = np.random.default_rng(seed)
+    ups = [
+        ClientUpdate(i, rng.normal(size=4), float(rng.uniform(0.1, 5)),
+                     float(rng.uniform(0.1, 5)), int(rng.integers(1, 500)))
+        for i in range(k)
+    ]
+    state = build_state(ups)
+    assert state.shape == (3 * k,)
+    assert state[2 * k:].sum() == pytest.approx(1.0)
+    assert np.all(state[2 * k:] > 0)
+
+
+# -- flat weights ------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", [
+    lambda rng: mlp(16, 4, rng, hidden=(8,)),
+    lambda rng: simple_cnn(1, 8, 4, rng, channels=(2, 4), dense=8),
+    lambda rng: vgg_mini(3, 8, 5, rng, width=4),
+])
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_flat_weight_roundtrip_every_architecture(factory, seed):
+    rng = np.random.default_rng(seed)
+    model = factory(rng)
+    flat = rng.normal(size=model.get_flat_weights().size)
+    model.set_flat_weights(flat)
+    np.testing.assert_allclose(model.get_flat_weights(), flat)
+
+
+# -- soft updates -------------------------------------------------------------------
+
+@given(
+    rho=st.floats(min_value=0.001, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_soft_update_is_contraction(rho, seed):
+    """After a soft update the target is strictly closer to the main net."""
+    rng = np.random.default_rng(seed)
+    a = make_policy_network(6, 2, rng, hidden=8)
+    b = make_policy_network(6, 2, rng, hidden=8)
+    before = np.linalg.norm(b.get_flat_weights() - a.get_flat_weights())
+    soft_update(b, a, rho=rho)
+    after = np.linalg.norm(b.get_flat_weights() - a.get_flat_weights())
+    assert after <= before + 1e-12
+    np.testing.assert_allclose(after, (1 - rho) * before, rtol=1e-9)
+
+
+# -- partitions ----------------------------------------------------------------------
+
+@given(
+    name=st.sampled_from(sorted(PARTITIONERS)),
+    n_clients=st.integers(min_value=2, max_value=15),
+    classes=st.integers(min_value=4, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_partitioner_disjoint_and_nonempty(name, n_clients, classes, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.permutation(np.repeat(np.arange(classes), 120))
+    parts = PARTITIONERS[name](labels, n_clients, rng)
+    validate_partition(parts, labels.shape[0])  # raises on duplicates
+    assert len(parts) == n_clients
+    assert all(p.size > 0 for p in parts)
+
+
+# -- reward ---------------------------------------------------------------------------
+
+@given(
+    losses=arrays(float, 6, elements=st.floats(0.01, 10)),
+    scale=st.floats(min_value=1.01, max_value=5.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_reward_strictly_decreases_when_losses_scale_up(losses, scale):
+    assert feddrl_reward(losses * scale) < feddrl_reward(losses)
+
+
+@given(losses=arrays(float, 8, elements=st.floats(0.01, 10)))
+@settings(max_examples=40, deadline=None)
+def test_reward_maximised_by_uniform_profile_at_fixed_mean(losses):
+    """Among profiles with the same mean, the fair (constant) profile has
+    the highest reward — the point of eq. (7)'s gap term."""
+    uniform = np.full_like(losses, losses.mean())
+    assert feddrl_reward(uniform) >= feddrl_reward(losses) - 1e-12
