@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Straggler study: what does a round deadline cost (and buy) under
+heterogeneous devices?
+
+A 10-client federation on cluster-skewed data where 30% of devices are
+simulated stragglers (8x slower, heavy-tailed latency).  The virtual
+clock (see ``repro.runtime.clock``) runs the same training three ways:
+
+* no clock       — the seed behavior, timing ignored;
+* wait policy    — every round waits out its slowest device;
+* drop policy    — rounds end at a deadline, late updates are discarded.
+
+Waiting preserves accuracy but inflates simulated training time; dropping
+caps round length at the cost of losing straggler updates.  The printed
+table shows that trade-off, which is exactly what the deadline knob is
+for.  Execution runs on the thread backend to show that backends and
+device simulation compose.
+
+Run:  python examples/straggler_study.py
+"""
+
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="mnist",
+        partition="CE",
+        method="fedavg",
+        n_clients=10,
+        clients_per_round=10,
+        scale="bench",
+        seed=0,
+        backend="thread",
+        workers=4,
+    )
+    clocked = base.with_(
+        latency_model="lognormal",
+        straggler_fraction=0.3,
+        straggler_slowdown=8.0,
+    )
+
+    scenarios = {
+        "no clock": base,
+        "wait for stragglers": clocked,
+        "drop at deadline": clocked.with_(deadline_s=1.0, deadline_policy="drop"),
+    }
+
+    print("=== Straggler study: 30% of devices 8x slower ===\n")
+    print(f"{'scenario':>20} {'best acc':>9} {'sim time':>9} {'dropped':>8} {'wall':>6}")
+    for name, cfg in scenarios.items():
+        result = run_experiment(cfg)
+        extra = result.extra or {}
+        sim_time = f"{extra['sim_time_s']:.0f}s" if "sim_time_s" in extra else "-"
+        dropped = str(extra.get("dropped_updates", "-"))
+        print(f"{name:>20} {result.best_accuracy:>9.3f} {sim_time:>9} "
+              f"{dropped:>8} {result.wall_time_s:>5.1f}s")
+
+    print(
+        "\nWaiting pays for stragglers with simulated hours; dropping trades"
+        "\na slice of accuracy for bounded round time. The deadline is the"
+        "\ndial between them (--deadline / --deadline-policy on the CLI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,9 @@ Examples::
     python -m repro --dataset mnist --partition CE --method feddrl
     python -m repro --dataset cifar100 --partition CN --method fedavg \
         --clients 30 --per-round 10 --rounds 60 --scale bench
+    python -m repro --method fedavg --backend process --workers 4
+    python -m repro --method fedavg --latency-model lognormal \
+        --straggler-fraction 0.2 --deadline 5 --deadline-policy drop
     python -m repro --list            # show the valid grid values
 """
 
@@ -16,7 +19,10 @@ import sys
 
 from repro.harness.config import (
     SCALES,
+    VALID_BACKENDS,
     VALID_DATASETS,
+    VALID_DEADLINE_POLICIES,
+    VALID_LATENCY_MODELS,
     VALID_METHODS,
     VALID_PARTITIONS,
     ExperimentConfig,
@@ -42,6 +48,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--pretrain", type=int, default=0,
                         help="two-stage pretraining rounds per worker (feddrl)")
+    parser.add_argument("--backend", default="serial", choices=VALID_BACKENDS,
+                        help="client-execution backend (bit-identical results)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for thread/process backends "
+                             "(default: CPU count)")
+    parser.add_argument("--latency-model", default="none",
+                        choices=VALID_LATENCY_MODELS,
+                        help="virtual-clock device latency model")
+    parser.add_argument("--straggler-fraction", type=float, default=0.0,
+                        help="fraction of simulated devices that straggle")
+    parser.add_argument("--straggler-slowdown", type=float, default=8.0,
+                        help="slowdown factor applied to straggler devices")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="simulated round deadline in seconds")
+    parser.add_argument("--deadline-policy", default="wait",
+                        choices=VALID_DEADLINE_POLICIES,
+                        help="wait for stragglers or drop their updates")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable result")
     parser.add_argument("--list", action="store_true",
@@ -58,18 +81,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"scales:     {', '.join(sorted(SCALES))}")
         return 0
 
-    cfg = ExperimentConfig(
-        dataset=args.dataset,
-        partition=args.partition,
-        method=args.method,
-        n_clients=args.clients,
-        clients_per_round=args.per_round,
-        scale=args.scale,
-        delta=args.delta,
-        seed=args.seed,
-        rounds=args.rounds,
-        drl_pretrain_rounds=args.pretrain,
-    )
+    try:
+        cfg = ExperimentConfig(
+            dataset=args.dataset,
+            partition=args.partition,
+            method=args.method,
+            n_clients=args.clients,
+            clients_per_round=args.per_round,
+            scale=args.scale,
+            delta=args.delta,
+            seed=args.seed,
+            rounds=args.rounds,
+            drl_pretrain_rounds=args.pretrain,
+            backend=args.backend,
+            workers=args.workers,
+            latency_model=args.latency_model,
+            straggler_fraction=args.straggler_fraction,
+            straggler_slowdown=args.straggler_slowdown,
+            deadline_s=args.deadline,
+            deadline_policy=args.deadline_policy,
+        )
+    except ValueError as err:
+        # Cross-flag constraints (K <= N, drop needs a deadline, ...) live
+        # in the config layer; report them CLI-style. Errors raised later,
+        # during the run, keep their tracebacks.
+        print(f"python -m repro: error: {err}", file=sys.stderr)
+        return 2
     result = run_experiment(cfg)
 
     if args.json:
@@ -84,12 +121,19 @@ def main(argv: list[str] | None = None) -> int:
             payload["accuracy_series"] = result.history.accuracy_series()
             payload["mean_impact_ms"] = result.history.mean_impact_time() * 1e3
             payload["mean_aggregation_ms"] = result.history.mean_aggregation_time() * 1e3
+            payload["backend"] = args.backend
+        if result.extra:
+            payload.update(result.extra)
         print(json.dumps(payload))
     else:
         print(f"{args.method} on {args.dataset}/{args.partition} "
-              f"(N={args.clients}, K={args.per_round}, scale={args.scale}):")
+              f"(N={args.clients}, K={args.per_round}, scale={args.scale}, "
+              f"backend={args.backend}):")
         print(f"  best top-1 accuracy: {result.best_accuracy:.4f}")
         print(f"  wall time:           {result.wall_time_s:.1f}s")
+        if result.extra and "sim_time_s" in result.extra:
+            print(f"  simulated time:      {result.extra['sim_time_s']:.1f}s "
+                  f"({result.extra['dropped_updates']} updates dropped)")
         if result.history is not None:
             tail = result.history.accuracy_series()[-3:]
             series = "  ".join(f"r{r}:{v:.3f}" for r, v in tail)

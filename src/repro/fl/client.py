@@ -6,10 +6,10 @@ local data, trains for E epochs of mini-batch SGD (optionally with the
 FedProx proximal term), records its post-training loss ``l_a``, and
 uploads ``(l_b, l_a, n_k, w_k)``.
 
-Clients share a single *workspace model* supplied by the simulation —
-local training is sequential in this simulator, so one set of parameter
-arrays is reused for every client, keeping memory at one model regardless
-of N.
+Clients train against a *workspace model* supplied by their execution
+backend (see :mod:`repro.runtime.executor`): the serial backend reuses one
+set of parameter arrays for every client, keeping memory at one model
+regardless of N, while parallel backends hand each worker its own replica.
 """
 
 from __future__ import annotations
@@ -75,14 +75,19 @@ class Client:
         batch_size: int,
         prox_mu: float = 0.0,
         loss: Loss | None = None,
+        rng: np.random.Generator | None = None,
     ) -> ClientUpdate:
         """Run E local epochs starting from ``global_weights``; see module doc.
 
         ``prox_mu > 0`` enables the FedProx proximal term anchored at the
-        round's global weights.
+        round's global weights.  ``rng`` drives the batch shuffle; the
+        runtime passes a ``(round, client)``-keyed generator so results do
+        not depend on the order clients execute in (falls back to the
+        client's own stateful generator for direct/legacy callers).
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
+        rng = rng if rng is not None else self.rng
         loss = loss if loss is not None else SoftmaxCrossEntropy()
         model.set_flat_weights(global_weights)
         loss_before = evaluate_loss(model, loss, self.dataset.x, self.dataset.y)
@@ -94,7 +99,7 @@ class Client:
             optimizer = SGD(model.parameters(), lr=lr)
 
         for _ in range(epochs):
-            for xb, yb in self.dataset.batches(batch_size, rng=self.rng):
+            for xb, yb in self.dataset.batches(batch_size, rng=rng):
                 model.zero_grad()
                 model.train_batch(loss, xb, yb)
                 optimizer.step()

@@ -8,6 +8,12 @@ custom client scheduling, inject faults, or bridge to a real transport.
 Example::
 
     server = FederatedServer(model_factory, strategy, seed=0)
+    executor = make_executor("process", clients, model_factory, workers=4)
+    for t in range(rounds):
+        server.run_round(executor, picked, epochs=5, lr=0.01, batch_size=10)
+
+or fully manually::
+
     for t in range(rounds):
         w = server.broadcast()
         updates = [c.local_train(model, w, epochs, lr, batch) for c in picked]
@@ -22,6 +28,7 @@ import numpy as np
 
 from repro.fl.client import ClientUpdate
 from repro.fl.strategies.base import Strategy, combine_updates
+from repro.runtime.executor import Executor, RoundContext
 
 
 class FederatedServer:
@@ -64,6 +71,35 @@ class FederatedServer:
         self.aggregation_times.append(t2 - t1)
         self.round_idx += 1
         return self.global_weights
+
+    def run_round(
+        self,
+        executor: Executor,
+        participants: list[int],
+        *,
+        epochs: int,
+        lr: float,
+        batch_size: int,
+        seed: int = 0,
+    ) -> list[ClientUpdate]:
+        """One full server round through an execution backend.
+
+        Broadcast → concurrent local training → aggregate.  ``seed`` keys
+        the per-``(round, client)`` batch RNGs, so resuming from a
+        checkpoint at the same ``round_idx`` reproduces the same round.
+        """
+        ctx = RoundContext(
+            round_idx=self.round_idx,
+            global_weights=self.broadcast(),
+            epochs=epochs,
+            lr=lr,
+            batch_size=batch_size,
+            base_seed=seed,
+            client_kwargs=self.strategy.client_kwargs(),
+        )
+        updates = executor.run_round(ctx, participants)
+        self.aggregate(updates)
+        return updates
 
     def state_dict(self) -> dict:
         """Checkpointable server state (weights + round counter)."""

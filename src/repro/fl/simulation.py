@@ -6,6 +6,13 @@ updates, ask the strategy for impact factors, aggregate, and evaluate.
 Per-round records capture everything the paper's figures need — test
 accuracy (Fig. 5/7/8), per-client inference-loss statistics (Fig. 6),
 impact factors, and the server-side timing split (Fig. 9).
+
+Client execution is delegated to a pluggable :class:`repro.runtime`
+backend (serial / thread / process — all bit-identical for a given seed
+thanks to ``(round, client)``-keyed batch RNGs), and an optional
+:class:`~repro.runtime.clock.VirtualClock` overlays simulated device
+latency: per-round makespans are recorded alongside the real timings, and
+a ``drop``-policy deadline excludes straggler updates from aggregation.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from repro.fl.strategies.base import Strategy, combine_updates
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
 from repro.nn.model import Sequential
+from repro.runtime.clock import VirtualClock, n_local_batches
+from repro.runtime.executor import Executor, RoundContext, SerialExecutor
 
 
 @dataclass
@@ -60,6 +69,9 @@ class RoundRecord:
     aggregation_time_s: float
     test_accuracy: float | None = None
     test_loss: float | None = None
+    # Virtual-clock fields (None / empty when no clock is attached).
+    sim_makespan_s: float | None = None
+    dropped_clients: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -110,6 +122,18 @@ class History:
                 return r.round_idx
         return None
 
+    def makespan_series(self) -> list[float]:
+        """Per-round simulated makespans (virtual-clock runs only)."""
+        return [r.sim_makespan_s for r in self.records if r.sim_makespan_s is not None]
+
+    def total_sim_time(self) -> float:
+        """Total simulated training time across all clocked rounds."""
+        return float(np.sum(self.makespan_series()))
+
+    def total_dropped(self) -> int:
+        """Updates discarded by the virtual clock's deadline policy."""
+        return sum(len(r.dropped_clients) for r in self.records)
+
 
 class FederatedSimulation:
     """Synchronous FL over a fixed client population."""
@@ -122,6 +146,8 @@ class FederatedSimulation:
         strategy: Strategy,
         config: FLConfig,
         selector=None,
+        executor: Executor | None = None,
+        clock: VirtualClock | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -140,10 +166,14 @@ class FederatedSimulation:
 
             selector = UniformSelection(np.random.default_rng(config.seed + 17))
         self.selector = selector
-        # One shared workspace model: local training is sequential, so all
-        # clients reuse these arrays (memory stays O(1) in N).
+        # The evaluation model also seeds the initial global weights; the
+        # serial backend reuses it as its workspace (memory stays O(1) in N).
         self.model: Sequential = model_factory(np.random.default_rng(config.seed))
         self.global_weights = self.model.get_flat_weights()
+        if executor is None:
+            executor = SerialExecutor(clients, model_factory, model=self.model)
+        self.executor = executor
+        self.clock = clock
         self.history = History()
         self._loss = SoftmaxCrossEntropy()
 
@@ -155,28 +185,55 @@ class FederatedSimulation:
             len(self.clients), self.config.clients_per_round, round_idx
         )
 
-    def collect_updates(self, participants: list[int]) -> list[ClientUpdate]:
-        """Broadcast + local training for each participant, in stable order."""
+    def collect_updates(
+        self, participants: list[int], round_idx: int
+    ) -> list[ClientUpdate]:
+        """Broadcast + local training via the execution backend.
+
+        Updates come back in participant order regardless of the backend's
+        physical schedule, and each client's batch RNG is keyed on
+        ``(round_idx, client_id)`` so every backend is bit-identical.
+        """
         cfg = self.config
-        kwargs = self.strategy.client_kwargs()
-        return [
-            self.clients[cid].local_train(
-                self.model,
-                self.global_weights,
-                epochs=cfg.local_epochs,
-                lr=cfg.lr,
-                batch_size=cfg.batch_size,
-                loss=self._loss,
-                **kwargs,
+        ctx = RoundContext(
+            round_idx=round_idx,
+            global_weights=self.global_weights,
+            epochs=cfg.local_epochs,
+            lr=cfg.lr,
+            batch_size=cfg.batch_size,
+            base_seed=cfg.seed,
+            client_kwargs=self.strategy.client_kwargs(),
+        )
+        return self.executor.run_round(ctx, participants)
+
+    def _observe_clock(
+        self, round_idx: int, participants: list[int], updates: list[ClientUpdate]
+    ) -> tuple[list[ClientUpdate], float | None, list[int]]:
+        """Apply the virtual clock: record makespan, enforce the deadline."""
+        if self.clock is None:
+            return updates, None, []
+        cfg = self.config
+        batches = {
+            cid: n_local_batches(
+                self.clients[cid].n_samples, cfg.local_epochs, cfg.batch_size
             )
             for cid in participants
-        ]
+        }
+        timing = self.clock.observe_round(round_idx, participants, batches)
+        if timing.dropped:
+            dropped = set(timing.dropped)
+            updates = [u for u in updates if u.client_id not in dropped]
+        return updates, timing.makespan_s, timing.dropped
 
     def run_round(self, round_idx: int) -> RoundRecord:
         participants = self.sample_participants(round_idx)
-        updates = self.collect_updates(participants)
+        updates = self.collect_updates(participants, round_idx)
+        updates, sim_makespan, dropped = self._observe_clock(
+            round_idx, participants, updates
+        )
+        kept = [u.client_id for u in updates]
         self.selector.observe(
-            participants, np.array([u.loss_before for u in updates])
+            kept, np.array([u.loss_before for u in updates])
         )
 
         t0 = time.perf_counter()
@@ -188,13 +245,15 @@ class FederatedSimulation:
 
         record = RoundRecord(
             round_idx=round_idx,
-            participants=participants,
+            participants=kept,
             impact_factors=np.asarray(alphas),
             client_losses_before=np.array([u.loss_before for u in updates]),
             client_losses_after=np.array([u.loss_after for u in updates]),
             client_sizes=np.array([u.n_samples for u in updates]),
             impact_time_s=t1 - t0,
             aggregation_time_s=t2 - t1,
+            sim_makespan_s=sim_makespan,
+            dropped_clients=dropped,
         )
         if self.test_set is not None and (
             round_idx % self.config.eval_every == 0
@@ -215,3 +274,13 @@ class FederatedSimulation:
         for t in range(self.config.rounds):
             self.run_round(t)
         return self.history
+
+    def close(self) -> None:
+        """Release the execution backend's workers (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

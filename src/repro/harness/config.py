@@ -17,9 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.runtime import BACKENDS, DEADLINE_POLICIES, LATENCY_MODELS
+
 VALID_DATASETS = ("mnist", "fashion", "cifar100")
 VALID_PARTITIONS = ("IID", "PA", "CE", "CN", "EQUAL", "NONEQUAL")
 VALID_METHODS = ("fedavg", "fedprox", "feddrl", "singleset")
+# Runtime vocabularies are owned by repro.runtime; "none" = no virtual clock.
+VALID_BACKENDS = BACKENDS
+VALID_LATENCY_MODELS = ("none", *LATENCY_MODELS)
+VALID_DEADLINE_POLICIES = DEADLINE_POLICIES
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,16 @@ class ExperimentConfig:
     drl_pretrain_rounds: int = 0
     drl_pretrain_workers: int = 2
     drl_offline_updates: int = 200
+    # Runtime: execution backend and virtual-clock device simulation (see
+    # repro.runtime).  All backends are bit-identical for a given seed;
+    # latency_model="none" disables the virtual clock entirely.
+    backend: str = "serial"
+    workers: int | None = None
+    latency_model: str = "none"
+    straggler_fraction: float = 0.0
+    straggler_slowdown: float = 8.0
+    deadline_s: float | None = None
+    deadline_policy: str = "wait"
 
     def __post_init__(self) -> None:
         if self.dataset not in VALID_DATASETS:
@@ -109,6 +125,46 @@ class ExperimentConfig:
             raise ValueError("clients_per_round cannot exceed n_clients")
         if not 0.0 < self.delta <= 1.0:
             raise ValueError("delta must be in (0, 1]")
+        if self.backend not in VALID_BACKENDS:
+            raise ValueError(f"backend must be one of {VALID_BACKENDS}")
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError("workers must be positive when given")
+        if self.latency_model not in VALID_LATENCY_MODELS:
+            raise ValueError(f"latency_model must be one of {VALID_LATENCY_MODELS}")
+        if self.deadline_policy not in VALID_DEADLINE_POLICIES:
+            raise ValueError(f"deadline_policy must be one of {VALID_DEADLINE_POLICIES}")
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ValueError("straggler_fraction must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if self.method == "singleset" and (
+            self.backend != "serial"
+            or self.workers is not None
+            or self.latency_model != "none"
+        ):
+            raise ValueError(
+                "singleset is centralized training — backend/workers/"
+                "latency settings do not apply to it"
+            )
+        if self.deadline_policy == "drop" and self.deadline_s is None:
+            raise ValueError("deadline_policy='drop' requires deadline_s")
+        if self.latency_model == "none" and (
+            self.deadline_s is not None
+            or self.deadline_policy != "wait"
+            or self.straggler_fraction > 0
+        ):
+            raise ValueError(
+                "deadline/straggler settings have no effect without a "
+                "latency_model — pick one of "
+                f"{tuple(m for m in VALID_LATENCY_MODELS if m != 'none')}"
+            )
+        if self.method == "feddrl" and self.deadline_policy == "drop":
+            # The DRL agent's state/action dims are fixed at K; dropping
+            # straggler updates would hand it fewer (see ROADMAP: async FL).
+            raise ValueError(
+                "feddrl needs exactly K updates per round; "
+                "deadline_policy='drop' is unsupported for it (use 'wait')"
+            )
 
     # -- resolved views ------------------------------------------------------
     @property

@@ -17,6 +17,7 @@ from repro.fl.singleset import train_singleset
 from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
 from repro.harness.config import ExperimentConfig
 from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
+from repro.runtime import VirtualClock, get_latency_model, make_executor
 
 
 @dataclass
@@ -150,6 +151,28 @@ def pretrain_feddrl_agent(cfg: ExperimentConfig, drl_cfg):
     return agent
 
 
+def build_executor(cfg: ExperimentConfig, clients, model_factory, model=None):
+    """The execution backend named by ``cfg.backend`` (see repro.runtime)."""
+    return make_executor(
+        cfg.backend, clients, model_factory, workers=cfg.workers, model=model
+    )
+
+
+def build_clock(cfg: ExperimentConfig) -> VirtualClock | None:
+    """The virtual device clock, or None when ``latency_model="none"``."""
+    if cfg.latency_model == "none":
+        return None
+    return VirtualClock(
+        get_latency_model(cfg.latency_model),
+        cfg.n_clients,
+        seed=cfg.seed + 23,
+        deadline_s=cfg.deadline_s,
+        policy=cfg.deadline_policy,
+        straggler_fraction=cfg.straggler_fraction,
+        straggler_slowdown=cfg.straggler_slowdown,
+    )
+
+
 def build_fl_config(cfg: ExperimentConfig) -> FLConfig:
     return FLConfig(
         rounds=cfg.resolved("rounds"),
@@ -170,8 +193,15 @@ def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation:
     clients = make_clients(train_set, parts, seed=cfg.seed + 11)
     model_factory = build_model_factory(cfg, train_set)
     strategy = build_strategy(cfg)
+    # executor=None lets the simulation build its serial default, which
+    # reuses the evaluation model as its workspace; the simulation owns
+    # whichever executor it gets and releases it in close().
+    executor = None
+    if cfg.backend != "serial":
+        executor = build_executor(cfg, clients, model_factory)
     return FederatedSimulation(
-        clients, test_set, model_factory, strategy, build_fl_config(cfg)
+        clients, test_set, model_factory, strategy, build_fl_config(cfg),
+        executor=executor, clock=build_clock(cfg),
     )
 
 
@@ -201,11 +231,18 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
             extra={"accuracies": result.accuracies},
         )
 
-    sim = build_simulation(cfg)
-    history = sim.run()
+    with build_simulation(cfg) as sim:
+        history = sim.run()
+    extra = None
+    if sim.clock is not None:
+        extra = {
+            "sim_time_s": history.total_sim_time(),
+            "dropped_updates": history.total_dropped(),
+        }
     return ExperimentResult(
         config=cfg,
         best_accuracy=history.best_accuracy(),
         history=history,
         wall_time_s=time.perf_counter() - start,
+        extra=extra,
     )

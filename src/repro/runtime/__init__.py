@@ -1,0 +1,56 @@
+"""``repro.runtime`` — the parallel client-execution layer.
+
+Decouples *what* a federated round computes (``repro.fl``) from *how*
+and *when* it runs: pluggable execution backends (serial / thread /
+process) that train a round's participants concurrently yet
+bit-identically, order-independent per-``(round, client)`` seeding, and
+a virtual clock that simulates heterogeneous device latency (stragglers,
+deadlines) independently of the host's real speed.
+"""
+
+from repro.runtime.clock import (
+    DEADLINE_POLICIES,
+    LATENCY_MODELS,
+    DeviceProfile,
+    HomogeneousLatency,
+    LatencyModel,
+    LogNormalLatency,
+    RoundTiming,
+    UniformLatency,
+    VirtualClock,
+    get_latency_model,
+    n_local_batches,
+)
+from repro.runtime.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    RoundContext,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.runtime.seeding import client_round_rng, client_round_seed
+
+__all__ = [
+    "BACKENDS",
+    "DEADLINE_POLICIES",
+    "LATENCY_MODELS",
+    "DeviceProfile",
+    "Executor",
+    "HomogeneousLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "ProcessExecutor",
+    "RoundContext",
+    "RoundTiming",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "UniformLatency",
+    "VirtualClock",
+    "client_round_rng",
+    "client_round_seed",
+    "get_latency_model",
+    "make_executor",
+    "n_local_batches",
+]

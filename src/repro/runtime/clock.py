@@ -1,0 +1,238 @@
+"""Virtual-clock device-heterogeneity simulator.
+
+The paper's setting is a fleet of heterogeneous edge devices, but the
+reproduction's real wall-clock only measures this host.  The virtual
+clock decouples *simulated* time from *execution* time, in the spirit of
+FLGo's ``system_simulator``: every client gets a :class:`DeviceProfile`
+(per-batch compute latency plus upload/download cost) drawn from a
+:class:`LatencyModel`, a configurable fraction of clients are stragglers
+slowed by a constant factor, and each round's simulated makespan is the
+slowest participant — optionally clipped by a round deadline that either
+*waits* for stragglers (pure bookkeeping) or *drops* their updates before
+aggregation (changing the training trajectory, as a real deadline would).
+
+Per-round latency jitter is keyed on ``(round, client)`` through
+:mod:`repro.runtime.seeding`, so simulated timings are identical under
+every execution backend and worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.seeding import STREAM_LATENCY, client_round_rng
+
+LATENCY_MODELS = ("homogeneous", "uniform", "lognormal")
+DEADLINE_POLICIES = ("wait", "drop")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static latency characteristics of one simulated device."""
+
+    compute_s_per_batch: float
+    upload_s: float
+    download_s: float
+
+    def round_seconds(self, n_batches: int) -> float:
+        """Deterministic (jitter-free) time for one round of local work."""
+        return self.download_s + n_batches * self.compute_s_per_batch + self.upload_s
+
+
+def n_local_batches(n_samples: int, epochs: int, batch_size: int) -> int:
+    """Gradient steps a client performs in one round."""
+    return epochs * math.ceil(n_samples / batch_size)
+
+
+class LatencyModel:
+    """Draws one :class:`DeviceProfile` per client at clock construction."""
+
+    name: str = "base"
+
+    def profiles(self, n_clients: int, rng: np.random.Generator) -> list[DeviceProfile]:
+        raise NotImplementedError
+
+
+class HomogeneousLatency(LatencyModel):
+    """Identical devices — isolates deadline/straggler effects."""
+
+    name = "homogeneous"
+
+    def __init__(
+        self,
+        compute_s_per_batch: float = 2e-3,
+        upload_s: float = 0.1,
+        download_s: float = 0.1,
+    ) -> None:
+        self.compute_s_per_batch = compute_s_per_batch
+        self.upload_s = upload_s
+        self.download_s = download_s
+
+    def profiles(self, n_clients: int, rng: np.random.Generator) -> list[DeviceProfile]:
+        return [
+            DeviceProfile(self.compute_s_per_batch, self.upload_s, self.download_s)
+            for _ in range(n_clients)
+        ]
+
+
+class UniformLatency(LatencyModel):
+    """Device speeds spread uniformly over a bounded multiplier range."""
+
+    name = "uniform"
+
+    def __init__(
+        self,
+        base: HomogeneousLatency | None = None,
+        low: float = 0.5,
+        high: float = 2.0,
+    ) -> None:
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self.base = base or HomogeneousLatency()
+        self.low = low
+        self.high = high
+
+    def profiles(self, n_clients: int, rng: np.random.Generator) -> list[DeviceProfile]:
+        factors = rng.uniform(self.low, self.high, size=n_clients)
+        return [
+            DeviceProfile(
+                self.base.compute_s_per_batch * f,
+                self.base.upload_s * f,
+                self.base.download_s * f,
+            )
+            for f in factors
+        ]
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed device speeds — a few naturally slow devices."""
+
+    name = "lognormal"
+
+    def __init__(self, base: HomogeneousLatency | None = None, sigma: float = 0.5) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.base = base or HomogeneousLatency()
+        self.sigma = sigma
+
+    def profiles(self, n_clients: int, rng: np.random.Generator) -> list[DeviceProfile]:
+        factors = rng.lognormal(mean=0.0, sigma=self.sigma, size=n_clients)
+        return [
+            DeviceProfile(
+                self.base.compute_s_per_batch * f,
+                self.base.upload_s * f,
+                self.base.download_s * f,
+            )
+            for f in factors
+        ]
+
+
+def get_latency_model(name: str, **kwargs) -> LatencyModel:
+    """Latency model by CLI name."""
+    models = {
+        "homogeneous": HomogeneousLatency,
+        "uniform": UniformLatency,
+        "lognormal": LogNormalLatency,
+    }
+    if name not in models:
+        raise ValueError(f"latency model must be one of {LATENCY_MODELS}, got {name!r}")
+    return models[name](**kwargs)
+
+
+@dataclass
+class RoundTiming:
+    """Simulated timing outcome of one round."""
+
+    round_idx: int
+    client_times_s: dict[int, float]
+    makespan_s: float
+    dropped: list[int] = field(default_factory=list)
+    deadline_s: float | None = None
+
+
+class VirtualClock:
+    """Advances simulated time by each round's makespan.
+
+    ``policy="wait"`` waits out every straggler (timing is bookkeeping
+    only); ``policy="drop"`` discards updates from clients that miss
+    ``deadline_s`` — the caller must exclude ``RoundTiming.dropped`` from
+    aggregation.  At least one update always survives: if everyone misses
+    the deadline the fastest client is kept (a real server would rather
+    extend the round than lose it).
+    """
+
+    def __init__(
+        self,
+        latency_model: LatencyModel,
+        n_clients: int,
+        seed: int = 0,
+        deadline_s: float | None = None,
+        policy: str = "wait",
+        straggler_fraction: float = 0.0,
+        straggler_slowdown: float = 8.0,
+        jitter_sigma: float = 0.05,
+    ) -> None:
+        if policy not in DEADLINE_POLICIES:
+            raise ValueError(f"policy must be one of {DEADLINE_POLICIES}, got {policy!r}")
+        if not 0.0 <= straggler_fraction <= 1.0:
+            raise ValueError("straggler_fraction must be in [0, 1]")
+        if straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if policy == "drop" and deadline_s is None:
+            raise ValueError("policy='drop' requires a deadline_s")
+        rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.profiles = latency_model.profiles(n_clients, rng)
+        n_stragglers = int(round(straggler_fraction * n_clients))
+        self.stragglers = set(
+            rng.choice(n_clients, size=n_stragglers, replace=False).tolist()
+        ) if n_stragglers else set()
+        self.straggler_slowdown = straggler_slowdown
+        self.deadline_s = deadline_s
+        self.policy = policy
+        self.jitter_sigma = jitter_sigma
+        self.elapsed_s = 0.0
+        self.timings: list[RoundTiming] = []
+
+    def client_time(self, round_idx: int, client_id: int, n_batches: int) -> float:
+        """Simulated seconds for one client's round, jitter included."""
+        base = self.profiles[client_id].round_seconds(n_batches)
+        if client_id in self.stragglers:
+            base *= self.straggler_slowdown
+        if self.jitter_sigma > 0:
+            jrng = client_round_rng(self.seed, round_idx, client_id, STREAM_LATENCY)
+            base *= float(jrng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+        return base
+
+    def observe_round(
+        self, round_idx: int, participants: list[int], n_batches: dict[int, int]
+    ) -> RoundTiming:
+        """Record one round: per-client times, deadline policy, makespan."""
+        times = {
+            cid: self.client_time(round_idx, cid, n_batches[cid]) for cid in participants
+        }
+        dropped: list[int] = []
+        if self.policy == "drop":
+            kept = [cid for cid in participants if times[cid] <= self.deadline_s]
+            if not kept:
+                kept = [min(participants, key=lambda cid: times[cid])]
+            dropped = [cid for cid in participants if cid not in kept]
+            makespan = self.deadline_s if dropped else max(times.values())
+            makespan = max(makespan, max(times[cid] for cid in kept))
+        else:
+            makespan = max(times.values())
+        timing = RoundTiming(
+            round_idx=round_idx,
+            client_times_s=times,
+            makespan_s=float(makespan),
+            dropped=dropped,
+            deadline_s=self.deadline_s,
+        )
+        self.elapsed_s += timing.makespan_s
+        self.timings.append(timing)
+        return timing

@@ -1,0 +1,210 @@
+"""Pluggable client-execution backends for one federated round.
+
+The FL loop needs exactly one thing from the execution layer: "run
+``local_train`` for these participants against these global weights and
+give me their updates in participant order".  :class:`Executor` captures
+that contract; three backends implement it:
+
+* :class:`SerialExecutor` — the seed behavior: one shared workspace model,
+  clients trained in a simple loop.  Zero overhead, O(1) model memory.
+* :class:`ThreadExecutor` — a thread pool over a pool of model replicas.
+  NumPy releases the GIL inside its kernels, so medium/large models see
+  real concurrency without any pickling.
+* :class:`ProcessExecutor` — a process pool with one long-lived model
+  replica per worker.  Clients are shipped to the workers **once** at
+  pool construction; each round only the flat weight vector crosses the
+  process boundary, and participants are dispatched in ``workers`` strided
+  chunks so uneven client sizes balance out.
+
+All three produce bit-identical updates for the same experiment seed
+because per-client batch schedules come from
+:mod:`repro.runtime.seeding`, not from shared stateful generators, and a
+model replica is fully determined by ``set_flat_weights`` (parameters and
+buffers alike).  The one exception is forward-time randomness owned by a
+layer — e.g. ``vgg11``'s Dropout draws from a per-replica stream — which
+the ci/bench models (mlp, simple_cnn, vgg_mini) do not use.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.runtime.seeding import client_round_rng
+
+if TYPE_CHECKING:  # imported lazily to keep runtime free of an fl<->runtime cycle
+    from repro.fl.client import Client, ClientUpdate
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RoundContext:
+    """Everything a worker needs to train one round's participants."""
+
+    round_idx: int
+    global_weights: np.ndarray
+    epochs: int
+    lr: float
+    batch_size: int
+    base_seed: int
+    client_kwargs: dict = field(default_factory=dict)
+
+
+def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
+    """One client's local training with its (round, client)-keyed RNG."""
+    rng = client_round_rng(ctx.base_seed, ctx.round_idx, client.client_id)
+    return client.local_train(
+        model,
+        ctx.global_weights,
+        epochs=ctx.epochs,
+        lr=ctx.lr,
+        batch_size=ctx.batch_size,
+        loss=loss,
+        rng=rng,
+        **ctx.client_kwargs,
+    )
+
+
+class Executor:
+    """Runs one round of client training; backends differ only in *how*."""
+
+    name: str = "base"
+
+    def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        """Train ``participants`` against ``ctx``; results in participant order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """The seed's sequential loop over one shared workspace model."""
+
+    name = "serial"
+
+    def __init__(self, clients: list[Client], model_factory, model=None) -> None:
+        self.clients = {c.client_id: c for c in clients}
+        # The caller may donate its workspace model (the simulation reuses
+        # its evaluation model) — training overwrites all state anyway.
+        self._model = model if model is not None else model_factory(np.random.default_rng(0))
+        self._loss = SoftmaxCrossEntropy()
+
+    def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        return [
+            _train_one(self.clients[cid], self._model, self._loss, ctx)
+            for cid in participants
+        ]
+
+
+class ThreadExecutor(Executor):
+    """Thread pool over a fixed pool of model replicas.
+
+    A replica is borrowed per task and returned afterwards, so memory is
+    O(workers) models regardless of K, and no replica is ever shared
+    between two in-flight clients.
+    """
+
+    name = "thread"
+
+    def __init__(self, clients: list[Client], model_factory, workers: int | None = None) -> None:
+        self.workers = max(1, workers or (os.cpu_count() or 1))
+        self.clients = {c.client_id: c for c in clients}
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="fl-client"
+        )
+        self._replicas: queue.SimpleQueue = queue.SimpleQueue()
+        for _ in range(self.workers):
+            self._replicas.put((model_factory(np.random.default_rng(0)), SoftmaxCrossEntropy()))
+
+    def _run(self, cid: int, ctx: RoundContext) -> ClientUpdate:
+        model, loss = self._replicas.get()
+        try:
+            return _train_one(self.clients[cid], model, loss, ctx)
+        finally:
+            self._replicas.put((model, loss))
+
+    def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        futures = [self._pool.submit(self._run, cid, ctx) for cid in participants]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# Per-process worker state, installed once by the pool initializer so each
+# round only ships the RoundContext (weights) — never clients or models.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(clients: list[Client], model_factory) -> None:
+    _WORKER_STATE["clients"] = {c.client_id: c for c in clients}
+    _WORKER_STATE["model"] = model_factory(np.random.default_rng(0))
+    _WORKER_STATE["loss"] = SoftmaxCrossEntropy()
+
+
+def _run_chunk(ctx: RoundContext, chunk: list[tuple[int, int]]) -> list[tuple[int, ClientUpdate]]:
+    clients = _WORKER_STATE["clients"]
+    model = _WORKER_STATE["model"]
+    loss = _WORKER_STATE["loss"]
+    return [(pos, _train_one(clients[cid], model, loss, ctx)) for pos, cid in chunk]
+
+
+class ProcessExecutor(Executor):
+    """Process pool with per-worker model replicas and chunked dispatch."""
+
+    name = "process"
+
+    def __init__(self, clients: list[Client], model_factory, workers: int | None = None) -> None:
+        self.workers = max(1, workers or (os.cpu_count() or 1))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(list(clients), model_factory),
+        )
+
+    def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        indexed = list(enumerate(participants))
+        n_chunks = min(self.workers, len(indexed))
+        # Strided chunks: client sizes are typically sorted-ish per
+        # partition, so striding balances work better than contiguous splits.
+        chunks = [indexed[i::n_chunks] for i in range(n_chunks)]
+        futures = [self._pool.submit(_run_chunk, ctx, chunk) for chunk in chunks]
+        results: list[ClientUpdate | None] = [None] * len(indexed)
+        for f in futures:
+            for pos, update in f.result():
+                results[pos] = update
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(
+    backend: str,
+    clients: list[Client],
+    model_factory,
+    workers: int | None = None,
+    model=None,
+) -> Executor:
+    """Factory for the CLI/harness ``--backend`` flag."""
+    if backend == "serial":
+        return SerialExecutor(clients, model_factory, model=model)
+    if backend == "thread":
+        return ThreadExecutor(clients, model_factory, workers=workers)
+    if backend == "process":
+        return ProcessExecutor(clients, model_factory, workers=workers)
+    raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")

@@ -1,0 +1,47 @@
+"""Order-independent RNG derivation for client-side training.
+
+Every backend in :mod:`repro.runtime.executor` may run a round's clients
+in a different physical order (threads interleave, process chunks finish
+whenever they finish).  If clients drew batch permutations from a shared
+or stateful generator, the *schedule* would leak into the *numerics* and
+no two backends would agree bit-for-bit.
+
+Instead, each ``(round, client)`` cell gets its own generator derived
+from the experiment seed through ``np.random.SeedSequence`` spawning:
+the root sequence is ``SeedSequence(base_seed)`` and the cell's child is
+the one reached by spawning key ``(round_idx, client_id)`` — constructed
+directly via ``spawn_key`` so derivation is a pure function of the cell,
+not of how many streams were handed out before it.  The result: any
+executor, any worker count, any completion order produces the same
+per-client batch schedule, hence bit-identical model updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Fixed per-purpose stream tags so independent consumers (batch shuffling
+# vs. simulated-latency jitter) never share a stream for the same cell.
+STREAM_BATCHES = 0
+STREAM_LATENCY = 1
+
+
+def client_round_seed(
+    base_seed: int, round_idx: int, client_id: int, stream: int = STREAM_BATCHES
+) -> np.random.SeedSequence:
+    """The SeedSequence for one ``(round, client)`` cell of the schedule.
+
+    Equivalent to spawning ``SeedSequence(base_seed)`` down the key path
+    ``round_idx -> client_id -> stream``, but constructed directly so it is
+    a pure function of the cell.
+    """
+    return np.random.SeedSequence(
+        entropy=base_seed, spawn_key=(round_idx, client_id, stream)
+    )
+
+
+def client_round_rng(
+    base_seed: int, round_idx: int, client_id: int, stream: int = STREAM_BATCHES
+) -> np.random.Generator:
+    """A fresh generator for one cell; independent across cells and streams."""
+    return np.random.default_rng(client_round_seed(base_seed, round_idx, client_id, stream))

@@ -21,6 +21,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--method", "fedsgd"])
 
+    def test_runtime_flag_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.backend == "serial"
+        assert args.workers is None
+        assert args.latency_model == "none"
+        assert args.deadline is None
+        assert args.deadline_policy == "wait"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu"])
+
+    def test_rejects_unknown_latency_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--latency-model", "fractal"])
+
 
 class TestMain:
     def test_list_mode(self, capsys):
@@ -48,6 +64,29 @@ class TestMain:
         payload = json.loads(capsys.readouterr().out)
         assert 0.0 <= payload["best_accuracy"] <= 1.0
         assert len(payload["accuracy_series"]) == 2
+
+    def test_thread_backend_matches_serial(self, capsys):
+        def best_acc(extra):
+            code = main([
+                "--dataset", "mnist", "--partition", "IID", "--method", "fedavg",
+                "--scale", "ci", "--clients", "5", "--per-round", "5",
+                "--rounds", "2", "--json", *extra,
+            ])
+            assert code == 0
+            return json.loads(capsys.readouterr().out)["best_accuracy"]
+
+        assert best_acc([]) == best_acc(["--backend", "thread", "--workers", "2"])
+
+    def test_latency_model_reports_sim_time(self, capsys):
+        code = main([
+            "--dataset", "mnist", "--partition", "IID", "--method", "fedavg",
+            "--scale", "ci", "--clients", "5", "--per-round", "5",
+            "--rounds", "2", "--latency-model", "uniform", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sim_time_s"] > 0
+        assert payload["dropped_updates"] == 0
 
     def test_singleset_json_has_no_series(self, capsys):
         main([

@@ -32,6 +32,35 @@ class TestExperimentConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(delta=0.0)
 
+    def test_runtime_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(backend="gpu")
+        with pytest.raises(ValueError):
+            ExperimentConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(latency_model="fractal")
+        with pytest.raises(ValueError):
+            ExperimentConfig(deadline_policy="retry")
+        with pytest.raises(ValueError):
+            ExperimentConfig(straggler_fraction=1.5)
+        with pytest.raises(ValueError, match="feddrl"):
+            ExperimentConfig(method="feddrl", latency_model="uniform",
+                             deadline_s=1.0, deadline_policy="drop")
+        with pytest.raises(ValueError, match="deadline_s"):
+            ExperimentConfig(latency_model="uniform", deadline_policy="drop")
+        with pytest.raises(ValueError, match="latency_model"):
+            ExperimentConfig(straggler_fraction=0.3)  # clock off -> no effect
+        with pytest.raises(ValueError, match="slowdown"):
+            ExperimentConfig(latency_model="uniform", straggler_fraction=0.3,
+                             straggler_slowdown=0.5)
+        with pytest.raises(ValueError, match="singleset"):
+            ExperimentConfig(method="singleset", backend="process")
+        # drop is fine for methods that tolerate a short round...
+        ExperimentConfig(method="fedavg", latency_model="uniform",
+                         deadline_s=1.0, deadline_policy="drop")
+        # ...and feddrl is fine when the clock only waits.
+        ExperimentConfig(method="feddrl", latency_model="uniform")
+
     def test_resolved_falls_back_to_preset(self):
         cfg = ExperimentConfig(scale="ci")
         assert cfg.resolved("rounds") == SCALES["ci"].rounds

@@ -1,0 +1,166 @@
+"""Virtual-clock device simulator: latency models, stragglers, deadlines."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.clock import (
+    DeviceProfile,
+    HomogeneousLatency,
+    LogNormalLatency,
+    UniformLatency,
+    VirtualClock,
+    get_latency_model,
+    n_local_batches,
+)
+
+
+class TestHelpers:
+    def test_n_local_batches_rounds_up(self):
+        assert n_local_batches(40, epochs=2, batch_size=16) == 2 * 3
+        assert n_local_batches(32, epochs=1, batch_size=16) == 2
+
+    def test_device_profile_round_seconds(self):
+        p = DeviceProfile(compute_s_per_batch=0.1, upload_s=1.0, download_s=0.5)
+        assert p.round_seconds(10) == pytest.approx(2.5)
+
+
+class TestLatencyModels:
+    def test_homogeneous_identical(self):
+        profiles = HomogeneousLatency().profiles(5, np.random.default_rng(0))
+        assert len(set(profiles)) == 1
+
+    @pytest.mark.parametrize("name", ["homogeneous", "uniform", "lognormal"])
+    def test_registry(self, name):
+        model = get_latency_model(name)
+        assert model.name == name
+        assert len(model.profiles(8, np.random.default_rng(0))) == 8
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_latency_model("fractal")
+
+    def test_uniform_bounded(self):
+        base = HomogeneousLatency(compute_s_per_batch=1.0, upload_s=0.0, download_s=0.0)
+        profiles = UniformLatency(base, low=0.5, high=2.0).profiles(
+            100, np.random.default_rng(0)
+        )
+        assert all(0.5 <= p.compute_s_per_batch <= 2.0 for p in profiles)
+
+    def test_lognormal_spreads(self):
+        profiles = LogNormalLatency(sigma=1.0).profiles(100, np.random.default_rng(0))
+        speeds = [p.compute_s_per_batch for p in profiles]
+        assert max(speeds) / min(speeds) > 2.0
+
+
+class TestVirtualClock:
+    def make_clock(self, **kwargs):
+        defaults = dict(latency_model=HomogeneousLatency(
+            compute_s_per_batch=0.1, upload_s=0.0, download_s=0.0),
+            n_clients=6, seed=0, jitter_sigma=0.0)
+        defaults.update(kwargs)
+        return VirtualClock(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_clock(policy="retry")
+        with pytest.raises(ValueError):
+            self.make_clock(straggler_fraction=1.5)
+        with pytest.raises(ValueError):
+            self.make_clock(policy="drop")  # drop requires a deadline
+        with pytest.raises(ValueError):
+            self.make_clock(deadline_s=-1.0)
+
+    def test_wait_policy_makespan_is_slowest(self):
+        clock = self.make_clock(straggler_fraction=0.5, straggler_slowdown=10.0)
+        timing = clock.observe_round(0, [0, 1, 2, 3, 4, 5], {c: 10 for c in range(6)})
+        assert not timing.dropped
+        assert timing.makespan_s == pytest.approx(max(timing.client_times_s.values()))
+        assert clock.elapsed_s == pytest.approx(timing.makespan_s)
+
+    def test_straggler_injection_slows_selected(self):
+        clock = self.make_clock(straggler_fraction=0.5, straggler_slowdown=10.0)
+        assert len(clock.stragglers) == 3
+        timing = clock.observe_round(0, list(range(6)), {c: 10 for c in range(6)})
+        for cid in range(6):
+            expected = 1.0 * (10.0 if cid in clock.stragglers else 1.0)
+            assert timing.client_times_s[cid] == pytest.approx(expected)
+
+    def test_drop_policy_discards_late_clients(self):
+        clock = self.make_clock(
+            straggler_fraction=0.5, straggler_slowdown=10.0,
+            deadline_s=2.0, policy="drop",
+        )
+        timing = clock.observe_round(0, list(range(6)), {c: 10 for c in range(6)})
+        assert set(timing.dropped) == clock.stragglers
+        assert timing.makespan_s == pytest.approx(2.0)  # server stops at deadline
+
+    def test_drop_policy_keeps_fastest_when_all_late(self):
+        clock = self.make_clock(deadline_s=0.1, policy="drop")
+        timing = clock.observe_round(0, [1, 4], {1: 10, 4: 20})
+        assert timing.dropped == [4]  # the faster client survives
+        assert timing.makespan_s >= 1.0  # waited for the kept client
+
+    def test_simulated_time_accumulates(self):
+        clock = self.make_clock()
+        for r in range(3):
+            clock.observe_round(r, [0, 1], {0: 10, 1: 10})
+        assert clock.elapsed_s == pytest.approx(3.0)
+        assert len(clock.timings) == 3
+
+    def test_jitter_deterministic_and_order_independent(self):
+        def times(order):
+            clock = VirtualClock(HomogeneousLatency(), 6, seed=0, jitter_sigma=0.2)
+            return {cid: clock.client_time(1, cid, 10) for cid in order}
+
+        a = times([0, 1, 2, 3])
+        b = times([3, 2, 1, 0])
+        assert a == b
+
+
+class TestClockInSimulation:
+    def run_sim(self, tiny_data, tiny_clients, tiny_model_factory, clock):
+        from repro.fl.simulation import FederatedSimulation, FLConfig
+        from repro.fl.strategies import FedAvg
+
+        _, test = tiny_data
+        sim = FederatedSimulation(
+            tiny_clients, test, tiny_model_factory, FedAvg(),
+            FLConfig(rounds=3, clients_per_round=4, local_epochs=1, lr=0.05,
+                     batch_size=16, seed=0),
+            clock=clock,
+        )
+        return sim.run()
+
+    def test_wait_clock_records_makespans_only(
+        self, tiny_data, tiny_clients, tiny_model_factory
+    ):
+        clock = VirtualClock(LogNormalLatency(), 6, seed=1,
+                             straggler_fraction=0.3, straggler_slowdown=10.0)
+        hist = self.run_sim(tiny_data, tiny_clients, tiny_model_factory, clock)
+        assert len(hist.makespan_series()) == 3
+        assert hist.total_sim_time() > 0
+        assert hist.total_dropped() == 0
+        assert all(len(r.participants) == 4 for r in hist.records)
+
+    def test_drop_clock_shrinks_aggregation(
+        self, tiny_data, tiny_clients, tiny_model_factory
+    ):
+        # Every client straggles 50x past a tight deadline except the
+        # per-round fastest, so each record keeps a strict subset.
+        clock = VirtualClock(
+            HomogeneousLatency(compute_s_per_batch=0.1, upload_s=0, download_s=0),
+            6, seed=1, straggler_fraction=0.5, straggler_slowdown=50.0,
+            deadline_s=2.0, policy="drop", jitter_sigma=0.0,
+        )
+        hist = self.run_sim(tiny_data, tiny_clients, tiny_model_factory, clock)
+        assert hist.total_dropped() > 0
+        for rec in hist.records:
+            assert len(rec.participants) == len(rec.impact_factors)
+            assert not set(rec.dropped_clients) & set(rec.participants)
+
+    def test_no_clock_leaves_sim_fields_empty(
+        self, tiny_data, tiny_clients, tiny_model_factory
+    ):
+        hist = self.run_sim(tiny_data, tiny_clients, tiny_model_factory, None)
+        assert hist.makespan_series() == []
+        assert all(r.sim_makespan_s is None for r in hist.records)

@@ -1,0 +1,103 @@
+"""Backend equivalence and executor mechanics.
+
+The load-bearing guarantee: serial, thread, and process backends produce
+bit-identical histories for the same seed, so parallelism is a pure
+wall-clock optimisation that can never change a paper result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fl.simulation import FederatedSimulation, FLConfig
+from repro.fl.strategies import FedAvg, FedProx
+from repro.runtime.executor import (
+    BACKENDS,
+    ProcessExecutor,
+    RoundContext,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+BACKEND_WORKERS = [("serial", None), ("thread", 2), ("process", 2)]
+
+
+def run_history(tiny_data, tiny_clients, tiny_model_factory, backend, workers,
+                strategy=None, rounds=3):
+    _, test = tiny_data
+    executor = make_executor(backend, tiny_clients, tiny_model_factory, workers=workers)
+    sim = FederatedSimulation(
+        tiny_clients, test, tiny_model_factory, strategy or FedAvg(),
+        FLConfig(rounds=rounds, clients_per_round=4, local_epochs=1, lr=0.05,
+                 batch_size=16, seed=0),
+        executor=executor,
+    )
+    with sim:
+        return sim.run(), sim.global_weights
+
+
+class TestBackendEquivalence:
+    def test_all_backends_bit_identical(self, tiny_data, tiny_clients, tiny_model_factory):
+        results = {
+            backend: run_history(tiny_data, tiny_clients, tiny_model_factory,
+                                 backend, workers)
+            for backend, workers in BACKEND_WORKERS
+        }
+        ref_hist, ref_weights = results["serial"]
+        for backend, (hist, weights) in results.items():
+            assert hist.accuracy_series() == ref_hist.accuracy_series(), backend
+            np.testing.assert_array_equal(weights, ref_weights, err_msg=backend)
+
+    @pytest.mark.parametrize("backend,workers", BACKEND_WORKERS)
+    def test_fedprox_client_kwargs_reach_workers(
+        self, backend, workers, tiny_data, tiny_clients, tiny_model_factory
+    ):
+        """Strategy client kwargs (prox_mu) must survive the dispatch path."""
+        hist, _ = run_history(tiny_data, tiny_clients, tiny_model_factory,
+                              backend, workers, strategy=FedProx(mu=0.1), rounds=2)
+        assert len(hist.records) == 2
+
+    def test_rerun_same_backend_reproducible(self, tiny_data, tiny_clients, tiny_model_factory):
+        a = run_history(tiny_data, tiny_clients, tiny_model_factory, "thread", 3)
+        b = run_history(tiny_data, tiny_clients, tiny_model_factory, "thread", 3)
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestExecutorMechanics:
+    def make_ctx(self, tiny_model_factory):
+        model = tiny_model_factory(np.random.default_rng(0))
+        return RoundContext(
+            round_idx=0, global_weights=model.get_flat_weights(),
+            epochs=1, lr=0.05, batch_size=16, base_seed=0,
+        )
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (SerialExecutor, {}),
+        (ThreadExecutor, {"workers": 2}),
+        (ProcessExecutor, {"workers": 2}),
+    ])
+    def test_updates_in_participant_order(
+        self, cls, kwargs, tiny_clients, tiny_model_factory
+    ):
+        participants = [4, 1, 3, 0]
+        with cls(tiny_clients, tiny_model_factory, **kwargs) as executor:
+            updates = executor.run_round(self.make_ctx(tiny_model_factory), participants)
+        assert [u.client_id for u in updates] == participants
+
+    def test_process_chunking_covers_all_when_fewer_workers(
+        self, tiny_clients, tiny_model_factory
+    ):
+        participants = [0, 1, 2, 3, 4, 5]
+        with ProcessExecutor(tiny_clients, tiny_model_factory, workers=2) as executor:
+            updates = executor.run_round(self.make_ctx(tiny_model_factory), participants)
+        assert [u.client_id for u in updates] == participants
+
+    def test_make_executor_rejects_unknown(self, tiny_clients, tiny_model_factory):
+        with pytest.raises(ValueError):
+            make_executor("gpu", tiny_clients, tiny_model_factory)
+
+    def test_backend_names(self):
+        assert BACKENDS == ("serial", "thread", "process")
+        assert SerialExecutor.name == "serial"
+        assert ThreadExecutor.name == "thread"
+        assert ProcessExecutor.name == "process"
