@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Substrate benchmark: arena weight transfer + dtype round wall-clock.
+
+Two measurements, written to ``BENCH_substrate.json``:
+
+1. **Weight-transfer microbench** — ``set_flat_weights`` /
+   ``get_flat_weights`` / ``zero_grad`` / one SGD step against faithful
+   replicas of the pre-arena (seed) implementations, which re-walked the
+   layer list and looped per array on every call, always in float64.
+   Two speedups are recorded per operation: ``speedup_arena`` isolates
+   the layout change (arena float64 vs seed loop float64) and
+   ``speedup_total`` is what this substrate now ships end to end (arena
+   float32 vs the seed's float64 loop — layout *and* dtype).
+
+2. **End-to-end round wall-clock** — mean seconds per federated round
+   (FedAvg, simple_cnn on 16x16 synthetic images) for the serial and
+   process backends at float64 and float32, plus the per-round broadcast
+   payload in bytes (the process backend ships exactly one flat vector
+   per direction, so float32 halves it).
+
+Run ``python benchmarks/bench_substrate.py`` for the full numbers
+(tens of seconds) or ``--smoke`` for a seconds-long CI pass with the
+same JSON shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.data.partition import iid_partition
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_dataset
+from repro.fl.client import make_clients
+from repro.fl.simulation import FederatedSimulation, FLConfig
+from repro.fl.strategies import FedAvg
+from repro.nn.dtypes import set_default_dtype
+from repro.nn.models import mlp, vgg_mini
+from repro.nn.optim import SGD
+from repro.runtime.executor import make_executor
+
+
+# ---------------------------------------------------------------------------
+# Faithful replicas of the seed implementation (commit 40a5c5d): every call
+# re-walks the layers, re-sorts parameter names, rebuilds the array lists,
+# and loops per array.  These are the baselines the arena replaced.
+# ---------------------------------------------------------------------------
+
+def _seed_all_arrays(model, include_buffers=True):
+    pairs = []
+    for layer in model.layers:
+        for name in sorted(layer.params):
+            pairs.append((layer.params[name], layer.grads[name]))
+    arrays = [p for p, _ in pairs]
+    if include_buffers:
+        for layer in model.layers:
+            for name in sorted(layer.buffers):
+                arrays.append(layer.buffers[name])
+    return arrays
+
+
+def seed_get_flat(model):
+    arrays = _seed_all_arrays(model)
+    return np.concatenate([a.ravel() for a in arrays]) if arrays else np.empty(0)
+
+
+def seed_set_flat(model, flat):
+    arrays = _seed_all_arrays(model)
+    expected = sum(a.size for a in arrays)
+    flat = np.asarray(flat, dtype=float).ravel()
+    if flat.size != expected:
+        raise ValueError("size mismatch")
+    offset = 0
+    for a in arrays:
+        a[...] = flat[offset : offset + a.size].reshape(a.shape)
+        offset += a.size
+
+
+def seed_zero_grad(model):
+    for layer in model.layers:
+        for g in layer.grads.values():
+            g.fill(0.0)
+
+
+def seed_sgd_step(pairs, lr):
+    for p, g in pairs:
+        p -= lr * g
+
+
+# ---------------------------------------------------------------------------
+# timing helpers
+# ---------------------------------------------------------------------------
+
+def best_of(fn, reps: int, trials: int) -> float:
+    """Minimum mean-per-call seconds over ``trials`` batches of ``reps``."""
+    times = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        times.append((time.perf_counter() - t0) / reps)
+    return min(times)
+
+
+def _transfer_ops(model, with_legacy: bool):
+    """The four whole-model operations, as (legacy, arena) thunk pairs."""
+    flat = model.get_flat_weights()
+    for _, g in model.parameters():
+        g += 0.5  # non-trivial gradients for the step benches
+    pairs = model.parameters()
+    arena_opt = SGD(model, lr=0.01)
+    return {
+        "get_flat_weights": (
+            (lambda: seed_get_flat(model)) if with_legacy else None,
+            lambda: model.get_flat_weights(),
+        ),
+        "set_flat_weights": (
+            (lambda: seed_set_flat(model, flat)) if with_legacy else None,
+            lambda: model.set_flat_weights(flat),
+        ),
+        "zero_grad": (
+            (lambda: seed_zero_grad(model)) if with_legacy else None,
+            lambda: model.zero_grad(),
+        ),
+        "sgd_step": (
+            (lambda: seed_sgd_step(pairs, 0.01)) if with_legacy else None,
+            lambda: arena_opt.step(),
+        ),
+    }
+
+
+def bench_transfer(reps: int, trials: int) -> dict:
+    """Seed-loop (float64) vs arena (float64 and float32) timings."""
+    results = {}
+    factories = {
+        # The scale the test harness trains at (ci preset): this is the
+        # model whose weight vector crosses the executor boundary for
+        # every client, every round.
+        "mlp": lambda rng: mlp(64, 10, rng, hidden=(64, 32)),
+        # A conv model for the many-array regime (12 arrays).
+        "vgg_mini": lambda rng: vgg_mini(1, 8, 10, rng),
+    }
+    for name, factory in factories.items():
+        set_default_dtype("float64")
+        model64 = factory(np.random.default_rng(0))
+        ops64 = _transfer_ops(model64, with_legacy=True)
+        set_default_dtype("float32")
+        model32 = factory(np.random.default_rng(0))
+        ops32 = _transfer_ops(model32, with_legacy=False)
+        set_default_dtype("float64")
+
+        entry = {
+            "dim": int(model64.flat_state().size),
+            "n_arrays": len(_seed_all_arrays(model64)),
+        }
+        for op in ops64:
+            t_legacy = best_of(ops64[op][0], reps, trials)
+            t_arena64 = best_of(ops64[op][1], reps, trials)
+            t_arena32 = best_of(ops32[op][1], reps, trials)
+            entry[op] = {
+                "legacy_float64_us": round(t_legacy * 1e6, 3),
+                "arena_float64_us": round(t_arena64 * 1e6, 3),
+                "arena_float32_us": round(t_arena32 * 1e6, 3),
+                # Layout change alone, at identical dtype.
+                "speedup_arena": round(t_legacy / t_arena64, 2),
+                # What the substrate ships now vs what the seed did.
+                "speedup_total": round(t_legacy / t_arena32, 2),
+            }
+        results[name] = entry
+    return results
+
+
+def bench_rounds(rounds: int, n_train: int, image_size: int, workers: int) -> dict:
+    """Mean round wall-clock per (dtype, backend) on a conv workload."""
+    out: dict = {}
+    n_clients = 8
+    for dtype in ("float64", "float32"):
+        set_default_dtype(dtype)
+        spec = SyntheticImageSpec(
+            num_classes=10, channels=1, image_size=image_size, noise=0.6
+        )
+        train, _ = make_synthetic_dataset(spec, n_train, 64, np.random.default_rng(0))
+        parts = iid_partition(train.y, n_clients, np.random.default_rng(1))
+
+        from repro.nn.models import simple_cnn as _cnn
+        from functools import partial
+
+        factory = partial(_cnn, 1, image_size, 10)
+        dtype_entry: dict = {}
+        for backend in ("serial", "process"):
+            clients = make_clients(train, parts, seed=2)
+            executor = make_executor(
+                backend, clients, factory,
+                workers=workers if backend == "process" else None,
+            )
+            sim = FederatedSimulation(
+                clients, None, factory, FedAvg(),
+                FLConfig(rounds=rounds, clients_per_round=n_clients,
+                         local_epochs=1, batch_size=32, lr=0.05, seed=0),
+                executor=executor,
+            )
+            with sim:
+                sim.run_round(0)  # warm-up (process pool spin-up, BLAS init)
+                t0 = time.perf_counter()
+                for r in range(1, rounds + 1):
+                    sim.run_round(r)
+                elapsed = time.perf_counter() - t0
+                dim = int(sim.global_weights.size)
+                itemsize = int(sim.global_weights.dtype.itemsize)
+            dtype_entry[backend] = {"mean_round_s": round(elapsed / rounds, 5)}
+        dtype_entry["payload_bytes"] = dim * itemsize
+        dtype_entry["model_dim"] = dim
+        out[dtype] = dtype_entry
+    set_default_dtype("float64")
+    out["speedup_float32"] = {
+        backend: round(
+            out["float64"][backend]["mean_round_s"]
+            / out["float32"][backend]["mean_round_s"],
+            3,
+        )
+        for backend in ("serial", "process")
+    }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long pass with the same JSON shape")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_substrate.json"))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        reps, trials = 300, 3
+        rounds, n_train, image_size, workers = 2, 400, 8, 2
+    else:
+        reps, trials = 3000, 7
+        rounds, n_train, image_size, workers = 4, 4000, 16, 4
+
+    t_start = time.perf_counter()
+    transfer = bench_transfer(reps, trials)
+    rounds_result = bench_rounds(rounds, n_train, image_size, workers)
+
+    payload = {
+        "schema": "bench_substrate/v1",
+        "smoke": args.smoke,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "transfer": transfer,
+        "round": rounds_result,
+        "bench_wall_s": round(time.perf_counter() - t_start, 2),
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+
+    mlp_t = transfer["mlp"]
+    print(f"wrote {out_path}")
+    for kind, key in [("arena", "speedup_arena"), ("total", "speedup_total")]:
+        print(f"mlp (D={mlp_t['dim']}) {kind}: "
+              f"set {mlp_t['set_flat_weights'][key]}x, "
+              f"get {mlp_t['get_flat_weights'][key]}x, "
+              f"zero_grad {mlp_t['zero_grad'][key]}x, "
+              f"sgd_step {mlp_t['sgd_step'][key]}x vs seed loops")
+    for backend, s in rounds_result["speedup_float32"].items():
+        f64 = rounds_result["float64"][backend]["mean_round_s"]
+        f32 = rounds_result["float32"][backend]["mean_round_s"]
+        print(f"round/{backend}: {f64:.3f}s (f64) -> {f32:.3f}s (f32) = {s}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.harness.config import (
     VALID_BACKENDS,
     VALID_DATASETS,
     VALID_DEADLINE_POLICIES,
+    VALID_DTYPES,
     VALID_LATENCY_MODELS,
     VALID_METHODS,
     VALID_PARTITIONS,
@@ -53,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for thread/process backends "
                              "(default: CPU count)")
+    parser.add_argument("--dtype", default="float64", choices=VALID_DTYPES,
+                        help="substrate compute dtype; float32 halves memory "
+                             "bandwidth and IPC payload, float64 (default) "
+                             "matches historical results bit-for-bit")
     parser.add_argument("--latency-model", default="none",
                         choices=VALID_LATENCY_MODELS,
                         help="virtual-clock device latency model")
@@ -79,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"partitions: {', '.join(VALID_PARTITIONS)}")
         print(f"methods:    {', '.join(VALID_METHODS)}")
         print(f"scales:     {', '.join(sorted(SCALES))}")
+        print(f"dtypes:     {', '.join(VALID_DTYPES)}")
         return 0
 
     try:
@@ -95,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
             drl_pretrain_rounds=args.pretrain,
             backend=args.backend,
             workers=args.workers,
+            dtype=args.dtype,
             latency_model=args.latency_model,
             straggler_fraction=args.straggler_fraction,
             straggler_slowdown=args.straggler_slowdown,
@@ -122,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
             payload["mean_impact_ms"] = result.history.mean_impact_time() * 1e3
             payload["mean_aggregation_ms"] = result.history.mean_aggregation_time() * 1e3
             payload["backend"] = args.backend
+            payload["dtype"] = args.dtype
         if result.extra:
             payload.update(result.extra)
         print(json.dumps(payload))

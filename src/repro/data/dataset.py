@@ -6,18 +6,22 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.nn.dtypes import get_default_dtype
+
 
 class ArrayDataset:
     """An in-memory labelled dataset: features ``x`` and integer labels ``y``.
 
-    ``x`` has shape ``(n, ...)`` (images are NCHW without the batch dim);
-    ``y`` has shape ``(n,)`` with values in ``[0, num_classes)``.
-    Subsetting returns views where NumPy allows it; the federated clients
-    hold subsets of one shared array, so no per-client copies are made.
+    ``x`` has shape ``(n, ...)`` (images are NCHW without the batch dim)
+    and is stored in the configured compute dtype so batches feed the
+    model's GEMMs without promotion; ``y`` has shape ``(n,)`` with values
+    in ``[0, num_classes)``.  Subsetting returns views where NumPy allows
+    it; the federated clients hold subsets of one shared array, so no
+    per-client copies are made.
     """
 
     def __init__(self, x: np.ndarray, y: np.ndarray, num_classes: int) -> None:
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=get_default_dtype())
         y = np.asarray(y)
         if x.shape[0] != y.shape[0]:
             raise ValueError(

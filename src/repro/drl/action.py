@@ -74,7 +74,13 @@ def add_exploration_noise(
     """
     if scale < 0:
         raise ValueError("noise scale must be non-negative")
-    noisy = np.asarray(action, dtype=float) + rng.normal(0.0, scale, size=np.shape(action))
+    action = np.asarray(action)
+    if action.dtype.kind != "f":
+        action = action.astype(float)
+    # Draw in float64 (stable RNG stream) but add in the action's dtype so
+    # a float32 policy's actions stay float32 through the replay buffer.
+    noise = rng.normal(0.0, scale, size=action.shape).astype(action.dtype, copy=False)
+    noisy = action + noise
     mu, sigma = noisy[:n_clients], noisy[n_clients:]
     mu = np.clip(mu, -1.0, 1.0)
     sigma = np.clip(sigma, 0.0, beta * np.abs(mu))

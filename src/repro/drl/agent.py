@@ -85,8 +85,10 @@ class DDPGAgent:
         self.value_target = make_value_network(state_dim, n_clients, self.rng, hidden=c.hidden)
         hard_copy(self.policy_target, self.policy_main)
         hard_copy(self.value_target, self.value_main)
-        self.policy_opt = Adam(self.policy_main.parameters(), lr=c.policy_lr)
-        self.value_opt = Adam(self.value_main.parameters(), lr=c.value_lr)
+        # Arena-backed Adam: moment estimates are flat arrays and every
+        # update is a handful of whole-network vector ops.
+        self.policy_opt = Adam(self.policy_main, lr=c.policy_lr)
+        self.value_opt = Adam(self.value_main, lr=c.value_lr)
         self.buffer = ReplayBuffer(c.buffer_capacity)
         self.noise_scale = c.noise_scale
         self.total_updates = 0
@@ -94,7 +96,9 @@ class DDPGAgent:
     # -- acting ---------------------------------------------------------------
     def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
         """Compute the (possibly noise-perturbed) action for ``state``."""
-        state = np.asarray(state, dtype=float).ravel()
+        # Cast into the networks' compute dtype so the policy GEMMs are not
+        # promoted back to float64 under a float32 substrate.
+        state = np.asarray(state, dtype=self.policy_main.dtype).ravel()
         if state.shape[0] != self.state_dim:
             raise ValueError(
                 f"state has {state.shape[0]} entries, expected {self.state_dim}"
@@ -132,7 +136,9 @@ class DDPGAgent:
         c = self.config
         a2 = self.policy_target.forward(s2, training=False)
         q_next = self._q(self.value_target, s2, a2)
-        y = r + c.gamma * q_next
+        # Rewards arrive as float64 scalars; keep the TD target in the
+        # critic's dtype so the regression stays in one precision.
+        y = (r + c.gamma * q_next).astype(q_next.dtype, copy=False)
         self.value_main.zero_grad()
         q = self.value_main.forward(np.concatenate([s, a], axis=1), training=True).ravel()
         diff = q - y

@@ -120,13 +120,17 @@ def soft_update(target: Sequential, main: Sequential, rho: float) -> None:
     """
     if not 0.0 < rho <= 1.0:
         raise ValueError("rho must be in (0, 1]")
+    t_flat, m_flat = target.flat_state(), main.flat_state()
     t_arrays = target._all_arrays(include_buffers=True)
     m_arrays = main._all_arrays(include_buffers=True)
-    if len(t_arrays) != len(m_arrays):
+    if len(t_arrays) != len(m_arrays) or any(
+        t.shape != m.shape for t, m in zip(t_arrays, m_arrays)
+    ):
         raise ValueError("target and main networks have different structure")
-    for t, m in zip(t_arrays, m_arrays):
-        t *= 1.0 - rho
-        t += rho * m
+    # One fused lerp over the whole value arena (params + buffers) instead
+    # of a per-array loop; bit-identical to the per-array update.
+    t_flat *= 1.0 - rho
+    t_flat += rho * m_flat
 
 
 def hard_copy(target: Sequential, main: Sequential) -> None:

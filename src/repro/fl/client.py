@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
+from repro.nn.dtypes import get_default_dtype
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD, ProximalSGD
@@ -40,7 +41,13 @@ class ClientUpdate:
     n_samples: int
 
     def __post_init__(self) -> None:
-        self.weights = np.asarray(self.weights, dtype=float)
+        # Preserve the model's compute dtype: a float32 substrate uploads
+        # float32 vectors (half the process-backend IPC payload).  Anything
+        # else (lists, int arrays, unsupported float widths) is coerced to
+        # the configured dtype.
+        self.weights = np.asarray(self.weights)
+        if self.weights.dtype not in (np.float32, np.float64):
+            self.weights = self.weights.astype(get_default_dtype())
         if self.n_samples <= 0:
             raise ValueError("a client update must cover at least one sample")
         if not (np.isfinite(self.loss_before) and np.isfinite(self.loss_after)):
@@ -76,27 +83,36 @@ class Client:
         prox_mu: float = 0.0,
         loss: Loss | None = None,
         rng: np.random.Generator | None = None,
+        forward_rng: np.random.Generator | None = None,
     ) -> ClientUpdate:
         """Run E local epochs starting from ``global_weights``; see module doc.
 
         ``prox_mu > 0`` enables the FedProx proximal term anchored at the
-        round's global weights.  ``rng`` drives the batch shuffle; the
-        runtime passes a ``(round, client)``-keyed generator so results do
-        not depend on the order clients execute in (falls back to the
-        client's own stateful generator for direct/legacy callers).
+        round's global weights.  ``rng`` drives the batch shuffle and
+        ``forward_rng`` any forward-time randomness (Dropout masks); the
+        runtime passes ``(round, client)``-keyed generators for both so
+        results do not depend on the order clients execute in (falls back
+        to the client's / layers' own stateful generators for
+        direct/legacy callers).
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         rng = rng if rng is not None else self.rng
         loss = loss if loss is not None else SoftmaxCrossEntropy()
         model.set_flat_weights(global_weights)
+        # Install the per-(round, client) forward-randomness override — or
+        # clear a stale one, so legacy callers (forward_rng=None) get the
+        # layers' own generators as documented.
+        model.seed_forward(forward_rng)
         loss_before = evaluate_loss(model, loss, self.dataset.x, self.dataset.y)
 
+        # Optimisers over the model's arenas: one fused axpy per step
+        # instead of a per-array loop (see repro.nn.optim).
         if prox_mu > 0.0:
-            optimizer = ProximalSGD(model.parameters(), lr=lr, mu=prox_mu)
-            optimizer.set_anchor(model.param_arrays())
+            optimizer = ProximalSGD(model, lr=lr, mu=prox_mu)
+            optimizer.set_anchor(model.flat_parameters())
         else:
-            optimizer = SGD(model.parameters(), lr=lr)
+            optimizer = SGD(model, lr=lr)
 
         for _ in range(epochs):
             for xb, yb in self.dataset.batches(batch_size, rng=rng):

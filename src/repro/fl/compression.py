@@ -19,13 +19,21 @@ import numpy as np
 from repro.fl.client import ClientUpdate
 
 
+def _as_float_weights(global_weights) -> np.ndarray:
+    """Coerce a weight vector to a float dtype, preserving float32/float64."""
+    global_weights = np.asarray(global_weights)
+    if global_weights.dtype.kind != "f":
+        global_weights = global_weights.astype(float)
+    return global_weights
+
+
 @dataclass(frozen=True)
 class SparseUpdate:
     """A compressed client upload: top-k delta coordinates + metadata."""
 
     client_id: int
     indices: np.ndarray  # int64, sorted, unique
-    values: np.ndarray   # float64 deltas at those indices
+    values: np.ndarray   # deltas at those indices, in the substrate dtype
     dim: int             # full model dimension
     loss_before: float
     loss_after: float
@@ -59,7 +67,7 @@ def compress_update(
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    global_weights = np.asarray(global_weights, dtype=float)
+    global_weights = _as_float_weights(global_weights)
     if update.weights.shape != global_weights.shape:
         raise ValueError("update and global weights have different dimensions")
     delta = update.weights - global_weights
@@ -80,7 +88,7 @@ def compress_update(
 
 def decompress_update(sparse: SparseUpdate, global_weights: np.ndarray) -> ClientUpdate:
     """Reconstruct a dense :class:`ClientUpdate` the server can aggregate."""
-    global_weights = np.asarray(global_weights, dtype=float)
+    global_weights = _as_float_weights(global_weights)
     if global_weights.shape[0] != sparse.dim:
         raise ValueError("global weights do not match the sparse update's dim")
     weights = global_weights.copy()

@@ -109,9 +109,14 @@ class FederatedServer:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Inverse of :meth:`state_dict`."""
-        weights = np.asarray(state["global_weights"], dtype=float)
+        """Inverse of :meth:`state_dict`.
+
+        Checkpoints are dtype-portable: weights saved by a float64 server
+        load into a float32 server (and vice versa) by casting into this
+        server's compute dtype.
+        """
+        weights = np.asarray(state["global_weights"])
         if weights.shape != self.global_weights.shape:
             raise ValueError("checkpoint weight dimension mismatch")
-        self.global_weights = weights.copy()
+        self.global_weights = weights.astype(self.global_weights.dtype, copy=True)
         self.round_idx = int(state["round_idx"])

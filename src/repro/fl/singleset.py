@@ -44,7 +44,7 @@ def train_singleset(
         raise ValueError("epochs must be positive")
     model = model_factory(np.random.default_rng(seed))
     loss = SoftmaxCrossEntropy()
-    optimizer = SGD(model.parameters(), lr=lr)
+    optimizer = SGD(model, lr=lr)  # fused arena steps
     rng = np.random.default_rng(seed + 1)
     result = SingleSetResult()
     for _ in range(epochs):

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fl.client import ClientUpdate
+from repro.nn.dtypes import get_default_dtype
 
 
 def combine_updates(updates: list[ClientUpdate], alphas: np.ndarray) -> np.ndarray:
@@ -34,7 +35,9 @@ def combine_updates(updates: list[ClientUpdate], alphas: np.ndarray) -> np.ndarr
     if not np.isclose(total, 1.0, atol=1e-6):
         raise ValueError(f"impact factors must sum to 1 (got {total})")
     weight_matrix = np.stack([u.weights for u in updates])  # (K, D)
-    return alphas @ weight_matrix
+    # Cast alphas into the weight dtype so a float32 substrate aggregates
+    # in float32 (one GEMV, no float64 round trip).
+    return alphas.astype(weight_matrix.dtype, copy=False) @ weight_matrix
 
 
 def build_state(updates: list[ClientUpdate], normalize: bool = True) -> np.ndarray:
@@ -47,9 +50,10 @@ def build_state(updates: list[ClientUpdate], normalize: bool = True) -> np.ndarr
     """
     if not updates:
         raise ValueError("cannot build a state from zero updates")
-    l_b = np.array([u.loss_before for u in updates])
-    l_a = np.array([u.loss_after for u in updates])
-    n = np.array([u.n_samples for u in updates], dtype=float)
+    dtype = get_default_dtype()  # states feed the DRL networks' GEMMs
+    l_b = np.array([u.loss_before for u in updates], dtype=dtype)
+    l_a = np.array([u.loss_after for u in updates], dtype=dtype)
+    n = np.array([u.n_samples for u in updates], dtype=dtype)
     if normalize:
         n = n / n.sum()
     return np.concatenate([l_b, l_a, n])

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.nn.dtypes import SUPPORTED_DTYPES
 from repro.runtime import BACKENDS, DEADLINE_POLICIES, LATENCY_MODELS
 
 VALID_DATASETS = ("mnist", "fashion", "cifar100")
+VALID_DTYPES = SUPPORTED_DTYPES
 VALID_PARTITIONS = ("IID", "PA", "CE", "CN", "EQUAL", "NONEQUAL")
 VALID_METHODS = ("fedavg", "fedprox", "feddrl", "singleset")
 # Runtime vocabularies are owned by repro.runtime; "none" = no virtual clock.
@@ -107,6 +109,10 @@ class ExperimentConfig:
     backend: str = "serial"
     workers: int | None = None
     latency_model: str = "none"
+    # Substrate compute dtype (repro.nn.dtypes).  float64 (the default) is
+    # bit-identical to the historical all-float64 path; float32 halves
+    # memory bandwidth and the process-backend IPC payload.
+    dtype: str = "float64"
     straggler_fraction: float = 0.0
     straggler_slowdown: float = 8.0
     deadline_s: float | None = None
@@ -127,6 +133,8 @@ class ExperimentConfig:
             raise ValueError("delta must be in (0, 1]")
         if self.backend not in VALID_BACKENDS:
             raise ValueError(f"backend must be one of {VALID_BACKENDS}")
+        if self.dtype not in VALID_DTYPES:
+            raise ValueError(f"dtype must be one of {VALID_DTYPES}")
         if self.workers is not None and self.workers <= 0:
             raise ValueError("workers must be positive when given")
         if self.latency_model not in VALID_LATENCY_MODELS:

@@ -16,6 +16,7 @@ from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
 from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
 from repro.harness.config import ExperimentConfig
+from repro.nn.dtypes import default_dtype, set_default_dtype
 from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
 from repro.runtime import VirtualClock, get_latency_model, make_executor
 
@@ -188,6 +189,9 @@ def build_fl_config(cfg: ExperimentConfig) -> FLConfig:
 def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation:
     """Everything up to (but not including) ``run()`` — used by figures that
     need access to the live simulation."""
+    # The compute dtype must be pinned before any dataset/model allocation;
+    # models, datasets and optimisers capture it at build time.
+    set_default_dtype(cfg.dtype)
     train_set, test_set = build_dataset(cfg)
     parts = build_partition(cfg, train_set.y, np.random.default_rng(cfg.seed + 5))
     clients = make_clients(train_set, parts, seed=cfg.seed + 11)
@@ -210,8 +214,19 @@ def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation:
 # --------------------------------------------------------------------------
 
 def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment cell and return its headline metrics."""
+    """Run one experiment cell and return its headline metrics.
+
+    The config's compute dtype is active for the whole run and restored
+    afterwards, so one float32 cell cannot leak its dtype into later
+    experiments built in the same process.  (``build_simulation`` sets but
+    does not restore the dtype — its caller owns the live simulation.)
+    """
     start = time.perf_counter()
+    with default_dtype(cfg.dtype):
+        return _run_experiment(cfg, start)
+
+
+def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
     if cfg.method == "singleset":
         train_set, test_set = build_dataset(cfg)
         model_factory = build_model_factory(cfg, train_set)

@@ -23,8 +23,18 @@ Public surface
   :class:`~repro.nn.optim.ProximalSGD`, :class:`~repro.nn.optim.Adam`.
 * Model zoo: :func:`~repro.nn.models.simple_cnn`, :func:`~repro.nn.models.vgg11`,
   :func:`~repro.nn.models.vgg_mini`, :func:`~repro.nn.models.mlp`.
+* Compute dtype: :func:`~repro.nn.dtypes.set_default_dtype` /
+  :func:`~repro.nn.dtypes.get_default_dtype` /
+  :func:`~repro.nn.dtypes.default_dtype` — float32 or float64 (default)
+  for every substrate allocation, including the parameter arenas.
 """
 
+from repro.nn.dtypes import (
+    SUPPORTED_DTYPES,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
 from repro.nn.initializers import he_normal, he_uniform, xavier_uniform, zeros_init
 from repro.nn.layers import (
     AvgPool2D,
@@ -81,4 +91,8 @@ __all__ = [
     "he_uniform",
     "xavier_uniform",
     "zeros_init",
+    "SUPPORTED_DTYPES",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
 ]

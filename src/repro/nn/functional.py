@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import get_default_dtype
+
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
@@ -26,7 +28,7 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Return a ``(n, num_classes)`` float64 one-hot encoding of ``labels``."""
+    """Return a ``(n, num_classes)`` one-hot encoding in the compute dtype."""
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
@@ -35,7 +37,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels out of range [0, {num_classes}): "
             f"min={labels.min()}, max={labels.max()}"
         )
-    out = np.zeros((labels.shape[0], num_classes))
+    out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -86,7 +88,7 @@ def col2im(
     ow = conv_out_size(w, kw, stride, pad)
     hp, wp = h + 2 * pad, w + 2 * pad
     cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    out = np.zeros((n, c, hp, wp))
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
     # Accumulate per kernel offset: kh*kw vectorised scatters instead of a
     # per-window loop.
     for i in range(kh):
@@ -120,23 +122,34 @@ def softplus_grad(x: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=float)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    """Numerically stable logistic sigmoid.
+
+    Branch-free formulation: ``exp(-|x|)`` never overflows, and both the
+    positive form ``1 / (1 + exp(-|x|))`` and the negative form
+    ``exp(-|x|) / (1 + exp(-|x|))`` are exact for their half-line, so a
+    single ``where`` selects the right one — one transcendental pass, no
+    fancy-indexing scatter/gather.
+    """
+    x = np.asarray(x)
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
 
-def clip_grad_norm(grads: list[np.ndarray], max_norm: float) -> float:
+def clip_grad_norm(grads: np.ndarray | list[np.ndarray], max_norm: float) -> float:
     """Scale ``grads`` in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm (useful for logging/diagnostics).
+    ``grads`` may be a single flat array — e.g. a model's gradient arena
+    (:meth:`repro.nn.model.Sequential.flat_grads`), where the norm is one
+    BLAS dot and the clip one in-place scale — or a list of arrays, where
+    per-array dots avoid the ``g * g`` temporaries the old implementation
+    allocated.  Returns the pre-clip norm (useful for logging/diagnostics).
     """
+    if isinstance(grads, np.ndarray):
+        grads = [grads]
     total = 0.0
     for g in grads:
-        total += float(np.sum(g * g))
+        flat = np.ascontiguousarray(g).reshape(-1)
+        total += float(np.dot(flat, flat))
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm

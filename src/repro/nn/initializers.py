@@ -1,7 +1,10 @@
 """Weight initialisers for the NumPy DL substrate.
 
 Each initialiser is a pure function ``(shape, rng) -> ndarray`` so layers
-stay deterministic given a seeded :class:`numpy.random.Generator`.  Fan-in /
+stay deterministic given a seeded :class:`numpy.random.Generator`.  Draws
+always consume the generator in float64 and are cast to the configured
+compute dtype afterwards, so the RNG stream — and hence every downstream
+seed-derived quantity — is identical at float32 and float64.  Fan-in /
 fan-out are derived from the shape using the usual convention: for a Dense
 kernel ``(in, out)`` fan_in = in; for a Conv2D kernel
 ``(out_ch, in_ch, kh, kw)`` fan_in = in_ch * kh * kw.
@@ -12,6 +15,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from repro.nn.dtypes import get_default_dtype
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -33,27 +38,27 @@ def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Kaiming-normal init, the default for ReLU-family networks."""
     fan_in, _ = _fans(shape)
     std = math.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return np.asarray(rng.normal(0.0, std, size=shape), dtype=get_default_dtype())
 
 
 def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Kaiming-uniform init."""
     fan_in, _ = _fans(shape)
     bound = math.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return np.asarray(rng.uniform(-bound, bound, size=shape), dtype=get_default_dtype())
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot-uniform init, used for tanh/sigmoid output heads (DRL nets)."""
     fan_in, fan_out = _fans(shape)
     bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return np.asarray(rng.uniform(-bound, bound, size=shape), dtype=get_default_dtype())
 
 
 def zeros_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """All-zeros init (biases)."""
     del rng
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def uniform_final(shape: tuple[int, ...], rng: np.random.Generator, scale: float = 3e-3) -> np.ndarray:
@@ -62,7 +67,7 @@ def uniform_final(shape: tuple[int, ...], rng: np.random.Generator, scale: float
     Lillicrap et al. (2015) initialise the output layers from
     U(-3e-3, 3e-3) so the initial policy/value outputs are near zero.
     """
-    return rng.uniform(-scale, scale, size=shape)
+    return np.asarray(rng.uniform(-scale, scale, size=shape), dtype=get_default_dtype())
 
 
 INITIALIZERS = {

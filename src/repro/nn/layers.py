@@ -5,7 +5,10 @@ NumPy arrays) and the matching gradients in ``self.grads``; non-learnable
 state (BatchNorm running statistics) lives in ``self.buffers``.  The
 federated aggregation code flattens params (and buffers) into a single
 vector, so arrays are only ever mutated in place — their identity is part
-of the layer contract.
+of the layer contract.  (:class:`repro.nn.model.Sequential` relies on the
+same contract to rebind these arrays to views into its contiguous arenas
+at build time.)  All state is allocated in the configured compute dtype
+(:mod:`repro.nn.dtypes`).
 
 Shapes follow the NCHW convention for images and ``(batch, features)`` for
 dense inputs.
@@ -16,11 +19,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.dtypes import get_default_dtype
 from repro.nn.initializers import get_initializer, zeros_init
 
 
 class Layer:
     """Base class: a differentiable function with optional parameters."""
+
+    #: True for layers that draw randomness at forward time (Dropout); the
+    #: runtime reseeds these per (round, client) via ``Sequential.seed_forward``.
+    stochastic: bool = False
 
     def __init__(self) -> None:
         self.params: dict[str, np.ndarray] = {}
@@ -202,7 +210,7 @@ class MaxPool2D(Layer):
         n, c, h, w = self._x_shape
         k, s = self.kernel_size, self.stride
         gflat = grad.reshape(-1)
-        cols = np.zeros((gflat.shape[0], k * k))
+        cols = np.zeros((gflat.shape[0], k * k), dtype=grad.dtype)
         cols[np.arange(gflat.shape[0]), self._argmax] = gflat
         gx = F.col2im(cols, (n * c, 1, h, w), k, k, s, 0)
         return gx.reshape(n, c, h, w)
@@ -258,7 +266,16 @@ class Flatten(Layer):
 
 
 class Dropout(Layer):
-    """Inverted dropout: active only in training mode."""
+    """Inverted dropout: active only in training mode.
+
+    ``rng`` is the layer's own mask generator; execution backends install
+    a per-``(round, client)`` override through ``Sequential.seed_forward``
+    so dropout models stay bit-identical across backends and worker
+    schedules.  Clearing the override (``seed_forward(None)``) restores
+    the constructor generator for direct/legacy callers.
+    """
+
+    stochastic = True
 
     def __init__(self, p: float, rng: np.random.Generator) -> None:
         super().__init__()
@@ -266,6 +283,7 @@ class Dropout(Layer):
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
         self.rng = rng
+        self._forward_rng: np.random.Generator | None = None
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -273,7 +291,8 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        rng = self._forward_rng if self._forward_rng is not None else self.rng
+        self._mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -290,10 +309,11 @@ class _BatchNorm(Layer):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self._register("gamma", np.ones(num_features))
-        self._register("beta", np.zeros(num_features))
-        self.buffers["running_mean"] = np.zeros(num_features)
-        self.buffers["running_var"] = np.ones(num_features)
+        dtype = get_default_dtype()
+        self._register("gamma", np.ones(num_features, dtype=dtype))
+        self._register("beta", np.zeros(num_features, dtype=dtype))
+        self.buffers["running_mean"] = np.zeros(num_features, dtype=dtype)
+        self.buffers["running_var"] = np.ones(num_features, dtype=dtype)
         self._cache: tuple | None = None
 
     def _normalize(self, x2: np.ndarray, training: bool) -> np.ndarray:

@@ -1,4 +1,10 @@
-"""Loss functions with analytic gradients."""
+"""Loss functions with analytic gradients.
+
+Losses are dtype-transparent: every intermediate (log-softmax, probs, the
+logit gradient) inherits the dtype of the incoming logits, so a float32
+model backpropagates float32 end to end; only the reported scalar loss is
+widened to a Python float.
+"""
 
 from __future__ import annotations
 

@@ -1,18 +1,34 @@
-"""Sequential model container with flat-weight import/export.
+"""Sequential model container backed by contiguous parameter arenas.
 
 Federated aggregation operates on whole-model weight *vectors* (the
-``w_k`` the clients upload).  ``Sequential`` therefore exposes
-``get_flat_weights`` / ``set_flat_weights`` which (de)serialise every
-parameter — and, by default, every buffer such as BatchNorm running
-statistics — into a single contiguous float64 vector.  The layout is the
-deterministic layer-major order, so two models built by the same factory
-share the same layout and can be aggregated index-wise.
+``w_k`` the clients upload), and every client touches the full parameter
+set once per optimiser step and once per round for the weight transfer.
+``Sequential`` therefore consolidates all layer state into contiguous
+arenas at build time:
+
+* a *value arena* holding every parameter followed by every buffer
+  (BatchNorm running statistics), in deterministic layer-major order, and
+* a *grad arena* holding the matching gradients for the parameter prefix.
+
+Each ``layer.params[name]`` / ``layer.grads[name]`` / ``layer.buffers[name]``
+array is rebound to a reshaped **view** into its arena, so the in-place
+mutation contract of :mod:`repro.nn.layers` is preserved — layers keep
+writing through the same array objects — while whole-model operations
+collapse to single vectorised calls: ``set_flat_weights`` is one
+``np.copyto``, ``get_flat_weights`` one copy, ``zero_grad`` one ``fill``,
+and the optimisers in :mod:`repro.nn.optim` step the entire model with one
+fused axpy over the arenas.  Arenas are allocated in the configured
+compute dtype (:func:`repro.nn.dtypes.get_default_dtype`).
+
+Two models built by the same factory share the same layout and can be
+aggregated index-wise, exactly as before.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import get_default_dtype
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss
 
@@ -24,6 +40,74 @@ class Sequential:
         if not layers:
             raise ValueError("Sequential needs at least one layer")
         self.layers = list(layers)
+        self._alloc_arenas()
+
+    # -- arena construction --------------------------------------------------
+    def _alloc_arenas(self) -> None:
+        """Consolidate all layer state into contiguous arenas (see module doc).
+
+        Layers allocate their own arrays at construction; this pass copies
+        those values into the arenas and rebinds the layer dicts to views,
+        casting into the configured compute dtype.
+        """
+        dtype = get_default_dtype()
+        param_slots = [
+            (layer, name)
+            for layer in self.layers
+            for name in sorted(layer.params)
+        ]
+        buffer_slots = [
+            (layer, name)
+            for layer in self.layers
+            for name in sorted(layer.buffers)
+        ]
+        n_params = sum(layer.params[name].size for layer, name in param_slots)
+        n_buffers = sum(layer.buffers[name].size for layer, name in buffer_slots)
+        values = np.empty(n_params + n_buffers, dtype=dtype)
+        grads = np.zeros(n_params, dtype=dtype)
+
+        offset = 0
+        for layer, name in param_slots:
+            old_p, old_g = layer.params[name], layer.grads[name]
+            p_view = values[offset : offset + old_p.size].reshape(old_p.shape)
+            g_view = grads[offset : offset + old_p.size].reshape(old_p.shape)
+            np.copyto(p_view, old_p)
+            np.copyto(g_view, old_g)
+            layer.params[name] = p_view
+            layer.grads[name] = g_view
+            offset += old_p.size
+        for layer, name in buffer_slots:
+            old_b = layer.buffers[name]
+            b_view = values[offset : offset + old_b.size].reshape(old_b.shape)
+            np.copyto(b_view, old_b)
+            layer.buffers[name] = b_view
+            offset += old_b.size
+
+        self._values = values
+        self._grads = grads
+        self._n_params = n_params
+
+    # -- arena views ---------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The compute dtype the arenas were allocated in."""
+        return self._values.dtype
+
+    def flat_parameters(self) -> np.ndarray:
+        """The parameter portion of the value arena (a live view)."""
+        return self._values[: self._n_params]
+
+    def flat_grads(self) -> np.ndarray:
+        """The gradient arena (a live view aligned with :meth:`flat_parameters`)."""
+        return self._grads
+
+    def flat_buffers(self) -> np.ndarray:
+        """The buffer portion of the value arena (a live view)."""
+        return self._values[self._n_params :]
+
+    def flat_state(self) -> np.ndarray:
+        """The whole value arena — parameters then buffers (a live view)."""
+        return self._values
 
     # -- forward / backward -------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -69,14 +153,24 @@ class Sequential:
         return bufs
 
     def zero_grad(self) -> None:
-        for layer in self.layers:
-            layer.zero_grad()
+        self._grads.fill(0.0)
 
     def num_parameters(self, include_buffers: bool = False) -> int:
-        total = sum(p.size for p in self.param_arrays())
-        if include_buffers:
-            total += sum(b.size for b in self.buffer_arrays())
-        return total
+        return int(self._values.size if include_buffers else self._n_params)
+
+    def seed_forward(self, rng: np.random.Generator | None) -> None:
+        """Install (or, with ``None``, clear) a forward-randomness override.
+
+        The runtime calls this with a ``(round, client)``-keyed generator
+        before each client's local training, making stochastic layers
+        (Dropout masks) — and hence backends running dropout models —
+        bit-identical regardless of which worker or replica serves the
+        client.  Passing ``None`` removes the override so stochastic
+        layers fall back to their own constructor generators.
+        """
+        for layer in self.layers:
+            if layer.stochastic:
+                layer._forward_rng = rng
 
     # -- flat (de)serialisation ----------------------------------------------
     def _all_arrays(self, include_buffers: bool) -> list[np.ndarray]:
@@ -86,23 +180,25 @@ class Sequential:
         return arrays
 
     def get_flat_weights(self, include_buffers: bool = True) -> np.ndarray:
-        """Copy all weights into one contiguous float64 vector."""
-        arrays = self._all_arrays(include_buffers)
-        return np.concatenate([a.ravel() for a in arrays]) if arrays else np.empty(0)
+        """Copy all weights into one contiguous vector (a single arena copy)."""
+        source = self._values if include_buffers else self.flat_parameters()
+        return source.copy()
 
     def set_flat_weights(self, flat: np.ndarray, include_buffers: bool = True) -> None:
-        """Load a vector produced by :meth:`get_flat_weights` (in place)."""
-        arrays = self._all_arrays(include_buffers)
-        expected = sum(a.size for a in arrays)
-        flat = np.asarray(flat, dtype=float).ravel()
-        if flat.size != expected:
+        """Load a vector produced by :meth:`get_flat_weights` (in place).
+
+        One ``np.copyto`` over the value arena; every layer's arrays alias
+        the arena, so this writes through them without any per-layer loop.
+        Casts into the arena dtype, so a float64 checkpoint loads into a
+        float32 model (and vice versa).
+        """
+        target = self._values if include_buffers else self.flat_parameters()
+        flat = np.asarray(flat)
+        if flat.size != target.size:
             raise ValueError(
-                f"flat weight vector has {flat.size} entries, model expects {expected}"
+                f"flat weight vector has {flat.size} entries, model expects {target.size}"
             )
-        offset = 0
-        for a in arrays:
-            a[...] = flat[offset : offset + a.size].reshape(a.shape)
-            offset += a.size
+        np.copyto(target, flat.reshape(-1))
 
     # -- training utilities ----------------------------------------------------
     def train_batch(self, loss: Loss, x: np.ndarray, y: np.ndarray) -> float:

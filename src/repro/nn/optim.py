@@ -1,9 +1,20 @@
 """Optimisers operating in place on a model's parameter arrays.
 
-Optimisers hold references to ``(param, grad)`` pairs exported by
-:class:`repro.nn.model.Sequential.parameters`; ``step`` mutates the params
-in place (cheap, and keeps the arrays' identities stable for the flat
-weight views used by the FL aggregation code).
+An optimiser accepts either a :class:`repro.nn.model.Sequential` or the
+legacy list of ``(param, grad)`` array pairs.  Given a ``Sequential``, it
+steps the model's contiguous *arenas* directly: the whole update is a
+handful of fused vector operations over two flat arrays (one axpy for
+plain SGD) instead of a per-array Python loop.  SGD and ProximalSGD
+stage through a scratch buffer allocated once, so their steady-state
+steps do no allocation; Adam's bias-corrected tail still allocates a few
+whole-model temporaries (kept that way for bit-identity with the
+per-array expression).  Given a pair
+list, it falls back to the per-array loop — same arithmetic, so both
+paths (and both against the pre-arena implementation) are bit-identical.
+
+``step`` mutates the params in place either way, keeping the arrays'
+identities stable for the flat weight views used by the FL aggregation
+code.
 """
 
 from __future__ import annotations
@@ -12,20 +23,34 @@ import numpy as np
 
 
 class Optimizer:
-    """Base optimiser over a list of ``(param, grad)`` array pairs."""
+    """Base optimiser over a model's arenas or ``(param, grad)`` pairs."""
 
-    def __init__(self, parameters: list[tuple[np.ndarray, np.ndarray]], lr: float) -> None:
+    def __init__(self, parameters, lr: float) -> None:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
-        self.parameters = list(parameters)
+        self._flat: tuple[np.ndarray, np.ndarray] | None = None
+        if hasattr(parameters, "flat_parameters"):  # a Sequential-like model
+            model = parameters
+            self.parameters = model.parameters()
+            flat_p = model.flat_parameters()
+            if flat_p.size:
+                self._flat = (flat_p, model.flat_grads())
+        else:
+            self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer needs at least one parameter")
         self.lr = lr
+        self._scratch = (
+            np.empty_like(self._flat[0]) if self._flat is not None else None
+        )
 
     def step(self) -> None:
         raise NotImplementedError
 
     def zero_grad(self) -> None:
+        if self._flat is not None:
+            self._flat[1].fill(0.0)
+            return
         for _, g in self.parameters:
             g.fill(0.0)
 
@@ -33,12 +58,13 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay.
 
-    The paper's local solver: plain SGD, lr 0.01.
+    The paper's local solver: plain SGD, lr 0.01.  On an arena-backed
+    model the step is one fused axpy over the gradient arena.
     """
 
     def __init__(
         self,
-        parameters: list[tuple[np.ndarray, np.ndarray]],
+        parameters,
         lr: float = 0.01,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
@@ -48,11 +74,35 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = (
-            [np.zeros_like(p) for p, _ in self.parameters] if momentum > 0 else None
-        )
+        if momentum > 0:
+            self._velocity = (
+                np.zeros_like(self._flat[0])
+                if self._flat is not None
+                else [np.zeros_like(p) for p, _ in self.parameters]
+            )
+        else:
+            self._velocity = None
+
+    def _step_flat(self) -> None:
+        p, g = self._flat
+        update = g
+        if self.weight_decay:
+            # scratch = g + weight_decay * p  (same arithmetic as the
+            # per-array path: addition is commutative bit-for-bit).
+            np.multiply(p, self.weight_decay, out=self._scratch)
+            self._scratch += g
+            update = self._scratch
+        if self._velocity is not None:
+            self._velocity *= self.momentum
+            self._velocity += update
+            update = self._velocity
+        np.multiply(update, self.lr, out=self._scratch)
+        p -= self._scratch
 
     def step(self) -> None:
+        if self._flat is not None:
+            self._step_flat()
+            return
         for i, (p, g) in enumerate(self.parameters):
             update = g
             if self.weight_decay:
@@ -71,12 +121,14 @@ class ProximalSGD(SGD):
     FedProx (Li et al., 2020) augments each client's local objective with
     ``(mu/2) * ||w - w_global||^2``; the gradient contribution is
     ``mu * (w - w_global)``.  ``set_anchor`` must be called with the global
-    weights at the start of each communication round.
+    weights at the start of each communication round.  On an arena-backed
+    model the anchor is one flat vector and the proximal term one fused
+    axpy into the gradient arena.
     """
 
     def __init__(
         self,
-        parameters: list[tuple[np.ndarray, np.ndarray]],
+        parameters,
         lr: float = 0.01,
         mu: float = 0.01,
         momentum: float = 0.0,
@@ -86,34 +138,66 @@ class ProximalSGD(SGD):
             raise ValueError("proximal coefficient mu must be non-negative")
         self.mu = mu
         self._anchor: list[np.ndarray] | None = None
+        self._anchor_flat: np.ndarray | None = None
 
-    def set_anchor(self, anchor: list[np.ndarray]) -> None:
-        """Pin the proximal anchor (the round's global weights)."""
+    def set_anchor(self, anchor: list[np.ndarray] | np.ndarray) -> None:
+        """Pin the proximal anchor (the round's global weights).
+
+        Accepts the per-array list (``model.param_arrays()``) or a flat
+        vector matching the model's parameter arena.
+        """
+        if isinstance(anchor, np.ndarray) and anchor.ndim == 1:
+            if self._flat is None:
+                raise ValueError("flat anchors require an arena-backed model")
+            if anchor.size != self._flat[0].size:
+                raise ValueError("anchor does not match parameter count")
+            self._anchor_flat = anchor.astype(self._flat[0].dtype, copy=True)
+            self._anchor = None
+            return
         if len(anchor) != len(self.parameters):
             raise ValueError("anchor does not match parameter count")
         for a, (p, _) in zip(anchor, self.parameters):
             if a.shape != p.shape:
                 raise ValueError("anchor shapes do not match parameters")
-        self._anchor = [a.copy() for a in anchor]
+        if self._flat is not None:
+            flat = np.concatenate([np.asarray(a).ravel() for a in anchor])
+            self._anchor_flat = flat.astype(self._flat[0].dtype, copy=False)
+            self._anchor = None
+        else:
+            self._anchor = [a.copy() for a in anchor]
+
+    def _add_proximal_flat(self) -> None:
+        p, g = self._flat
+        # g += mu * (p - anchor), staged through the step scratch buffer.
+        np.subtract(p, self._anchor_flat, out=self._scratch)
+        self._scratch *= self.mu
+        g += self._scratch
 
     def step(self) -> None:
         if self.mu > 0:
-            if self._anchor is None:
+            if self._anchor is None and self._anchor_flat is None:
                 raise RuntimeError(
                     "ProximalSGD.step called before set_anchor; FedProx needs "
                     "the round's global weights as the proximal anchor"
                 )
-            for (p, g), a in zip(self.parameters, self._anchor):
-                g += self.mu * (p - a)
+            if self._flat is not None:
+                self._add_proximal_flat()
+            else:
+                for (p, g), a in zip(self.parameters, self._anchor):
+                    g += self.mu * (p - a)
         super().step()
 
 
 class Adam(Optimizer):
-    """Adam; used for the DDPG policy/value networks (Table 1 LRs)."""
+    """Adam; used for the DDPG policy/value networks (Table 1 LRs).
+
+    On an arena-backed model the moment estimates are two flat arrays and
+    each update is a few whole-model vector operations.
+    """
 
     def __init__(
         self,
-        parameters: list[tuple[np.ndarray, np.ndarray]],
+        parameters,
         lr: float = 1e-3,
         beta1: float = 0.9,
         beta2: float = 0.999,
@@ -123,14 +207,36 @@ class Adam(Optimizer):
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
-        self._m = [np.zeros_like(p) for p, _ in self.parameters]
-        self._v = [np.zeros_like(p) for p, _ in self.parameters]
+        if self._flat is not None:
+            self._m = np.zeros_like(self._flat[0])
+            self._v = np.zeros_like(self._flat[0])
+        else:
+            self._m = [np.zeros_like(p) for p, _ in self.parameters]
+            self._v = [np.zeros_like(p) for p, _ in self.parameters]
         self._t = 0
+
+    def _step_flat(self, b1t: float, b2t: float) -> None:
+        p, g = self._flat
+        m, v = self._m, self._v
+        m *= self.beta1
+        np.multiply(g, 1.0 - self.beta1, out=self._scratch)
+        m += self._scratch
+        v *= self.beta2
+        # ((1-beta2) * g) * g — same association order as the per-array
+        # path, so both are bit-identical (float multiply is commutative
+        # but not associative).
+        np.multiply(g, 1.0 - self.beta2, out=self._scratch)
+        self._scratch *= g
+        v += self._scratch
+        p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
 
     def step(self) -> None:
         self._t += 1
         b1t = 1.0 - self.beta1**self._t
         b2t = 1.0 - self.beta2**self._t
+        if self._flat is not None:
+            self._step_flat(b1t, b2t)
+            return
         for i, (p, g) in enumerate(self.parameters):
             m, v = self._m[i], self._v[i]
             m *= self.beta1

@@ -17,12 +17,12 @@ that contract; three backends implement it:
   chunks so uneven client sizes balance out.
 
 All three produce bit-identical updates for the same experiment seed
-because per-client batch schedules come from
-:mod:`repro.runtime.seeding`, not from shared stateful generators, and a
-model replica is fully determined by ``set_flat_weights`` (parameters and
-buffers alike).  The one exception is forward-time randomness owned by a
-layer — e.g. ``vgg11``'s Dropout draws from a per-replica stream — which
-the ci/bench models (mlp, simple_cnn, vgg_mini) do not use.
+because per-client batch schedules *and* forward-time randomness (Dropout
+masks) come from :mod:`repro.runtime.seeding`'s ``(round, client)``-keyed
+streams, not from shared stateful generators, and a model replica is
+fully determined by ``set_flat_weights`` (parameters and buffers alike).
+This holds for every model in the zoo, including ``vgg11``'s Dropout
+layers.
 """
 
 from __future__ import annotations
@@ -35,8 +35,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.nn.dtypes import get_default_dtype, set_default_dtype
 from repro.nn.losses import SoftmaxCrossEntropy
-from repro.runtime.seeding import client_round_rng
+from repro.runtime.seeding import STREAM_FORWARD, client_round_rng
 
 if TYPE_CHECKING:  # imported lazily to keep runtime free of an fl<->runtime cycle
     from repro.fl.client import Client, ClientUpdate
@@ -58,8 +59,17 @@ class RoundContext:
 
 
 def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
-    """One client's local training with its (round, client)-keyed RNG."""
+    """One client's local training with its (round, client)-keyed RNGs.
+
+    Batch shuffling and forward-time randomness (Dropout masks) draw from
+    separate streams of the same cell, so both are pure functions of
+    ``(seed, round, client)`` — never of the worker or replica that
+    happens to serve the client.
+    """
     rng = client_round_rng(ctx.base_seed, ctx.round_idx, client.client_id)
+    forward_rng = client_round_rng(
+        ctx.base_seed, ctx.round_idx, client.client_id, stream=STREAM_FORWARD
+    )
     return client.local_train(
         model,
         ctx.global_weights,
@@ -68,6 +78,7 @@ def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
         batch_size=ctx.batch_size,
         loss=loss,
         rng=rng,
+        forward_rng=forward_rng,
         **ctx.client_kwargs,
     )
 
@@ -150,7 +161,10 @@ class ThreadExecutor(Executor):
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(clients: list[Client], model_factory) -> None:
+def _init_worker(clients: list[Client], model_factory, dtype_name: str) -> None:
+    # Workers inherit the parent's compute dtype so their model replicas
+    # (and every allocation they make) match the parent substrate.
+    set_default_dtype(dtype_name)
     _WORKER_STATE["clients"] = {c.client_id: c for c in clients}
     _WORKER_STATE["model"] = model_factory(np.random.default_rng(0))
     _WORKER_STATE["loss"] = SoftmaxCrossEntropy()
@@ -173,7 +187,7 @@ class ProcessExecutor(Executor):
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(list(clients), model_factory),
+            initargs=(list(clients), model_factory, get_default_dtype().name),
         )
 
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:

@@ -21,9 +21,11 @@ from __future__ import annotations
 import numpy as np
 
 # Fixed per-purpose stream tags so independent consumers (batch shuffling
-# vs. simulated-latency jitter) never share a stream for the same cell.
+# vs. simulated-latency jitter vs. forward-time randomness such as Dropout
+# masks) never share a stream for the same cell.
 STREAM_BATCHES = 0
 STREAM_LATENCY = 1
+STREAM_FORWARD = 2
 
 
 def client_round_seed(

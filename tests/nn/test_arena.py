@@ -1,0 +1,305 @@
+"""Tests for the contiguous parameter arenas and the configurable dtype.
+
+Covers the arena contract (layer arrays are live views — identity is
+preserved across optimiser steps and flat-weight loads), equivalence of
+the fused flat optimiser paths with the per-array paths, dtype plumbing
+end to end (model, dataset, client upload, aggregation), checkpoint
+portability across dtypes, and bit-identity of the float64 path with the
+pre-arena seed implementation (golden hashes recorded from the seed).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.dtypes import default_dtype, get_default_dtype, set_default_dtype
+from repro.nn.layers import BatchNorm1d, Dense, Flatten, ReLU
+from repro.nn.model import Sequential
+from repro.nn.models import mlp, simple_cnn
+from repro.nn.optim import SGD, Adam, ProximalSGD
+
+
+def small_net(rng):
+    return Sequential([Dense(6, 10, rng), ReLU(), Dense(10, 4, rng)])
+
+
+def fill_grads(model, rng):
+    for _, g in model.parameters():
+        g += rng.normal(size=g.shape)
+
+
+class TestArenaContract:
+    def test_layer_arrays_are_arena_views(self, rng):
+        model = small_net(rng)
+        arena = model.flat_parameters()
+        for p, g in model.parameters():
+            assert p.base is not None and np.shares_memory(p, model.flat_state())
+            assert g.base is not None and np.shares_memory(g, model.flat_grads())
+        # Writing through the arena is visible through the layer dicts.
+        arena[...] = 0.0
+        assert all(np.all(p == 0) for p, _ in model.parameters())
+
+    def test_optimizer_step_preserves_identity(self, rng):
+        model = small_net(rng)
+        before = [id(p) for p, _ in model.parameters()]
+        before_g = [id(g) for _, g in model.parameters()]
+        opt = SGD(model, lr=0.1)
+        fill_grads(model, rng)
+        opt.step()
+        assert [id(p) for p, _ in model.parameters()] == before
+        assert [id(g) for _, g in model.parameters()] == before_g
+        # The step wrote through the very arrays the layers hold.
+        np.testing.assert_array_equal(
+            model.get_flat_weights(include_buffers=False),
+            model.flat_parameters(),
+        )
+
+    def test_set_flat_weights_preserves_identity_and_buffers(self, rng):
+        model = Sequential([Dense(4, 4, rng), BatchNorm1d(4), Dense(4, 2, rng)])
+        ids = [id(a) for a in model._all_arrays(include_buffers=True)]
+        flat = rng.normal(size=model.get_flat_weights().size)
+        model.set_flat_weights(flat)
+        assert [id(a) for a in model._all_arrays(include_buffers=True)] == ids
+        np.testing.assert_allclose(model.get_flat_weights(), flat)
+
+    def test_zero_grad_clears_arena_and_views(self, rng):
+        model = small_net(rng)
+        fill_grads(model, rng)
+        model.zero_grad()
+        assert np.all(model.flat_grads() == 0)
+        assert all(np.all(g == 0) for _, g in model.parameters())
+
+
+class TestFusedOptimizerEquivalence:
+    """The flat arena paths must match the per-array paths bit-for-bit."""
+
+    def _pair(self, seed=3):
+        a = small_net(np.random.default_rng(seed))
+        b = small_net(np.random.default_rng(seed))
+        fill_grads(a, np.random.default_rng(7))
+        fill_grads(b, np.random.default_rng(7))
+        return a, b
+
+    def test_sgd_flat_matches_per_array(self):
+        for kwargs in ({}, {"momentum": 0.9}, {"weight_decay": 0.01},
+                       {"momentum": 0.5, "weight_decay": 0.02}):
+            a, b = self._pair()
+            flat_opt = SGD(a, lr=0.05, **kwargs)
+            loop_opt = SGD(b.parameters(), lr=0.05, **kwargs)
+            for _ in range(3):
+                flat_opt.step()
+                loop_opt.step()
+            np.testing.assert_array_equal(
+                a.get_flat_weights(), b.get_flat_weights(), err_msg=str(kwargs)
+            )
+
+    def test_proximal_flat_matches_per_array(self):
+        a, b = self._pair()
+        flat_opt = ProximalSGD(a, lr=0.05, mu=0.1)
+        loop_opt = ProximalSGD(b.parameters(), lr=0.05, mu=0.1)
+        flat_opt.set_anchor(a.flat_parameters())
+        loop_opt.set_anchor(b.param_arrays())
+        for _ in range(3):
+            flat_opt.step()
+            loop_opt.step()
+        np.testing.assert_array_equal(a.get_flat_weights(), b.get_flat_weights())
+
+    def test_adam_flat_matches_per_array(self):
+        a, b = self._pair()
+        flat_opt = Adam(a, lr=1e-3)
+        loop_opt = Adam(b.parameters(), lr=1e-3)
+        for _ in range(4):
+            flat_opt.step()
+            loop_opt.step()
+        np.testing.assert_array_equal(a.get_flat_weights(), b.get_flat_weights())
+
+    def test_clip_grad_norm_flat_matches_list(self, rng):
+        model = small_net(rng)
+        fill_grads(model, rng)
+        copies = [g.copy() for _, g in model.parameters()]
+        norm_flat = F.clip_grad_norm(model.flat_grads(), 1.0)
+        norm_list = F.clip_grad_norm(copies, 1.0)
+        assert norm_flat == pytest.approx(norm_list)
+        for (_, g), c in zip(model.parameters(), copies):
+            np.testing.assert_allclose(g, c)
+
+
+class TestDtypePlumbing:
+    def test_float32_model_end_to_end(self, rng):
+        with default_dtype("float32"):
+            model = simple_cnn(1, 8, 4, np.random.default_rng(0))
+            assert model.dtype == np.float32
+            assert all(p.dtype == np.float32 for p, _ in model.parameters())
+            x = rng.normal(size=(6, 1, 8, 8)).astype(np.float32)
+            y = rng.integers(0, 4, size=6)
+            from repro.nn.losses import SoftmaxCrossEntropy
+
+            model.zero_grad()
+            model.train_batch(SoftmaxCrossEntropy(), x, y)
+            assert all(g.dtype == np.float32 for _, g in model.parameters())
+            opt = SGD(model, lr=0.05)
+            opt.step()
+            assert model.get_flat_weights().dtype == np.float32
+
+    def test_initializers_share_rng_stream_across_dtypes(self):
+        with default_dtype("float64"):
+            w64 = mlp(16, 4, np.random.default_rng(5)).get_flat_weights()
+        with default_dtype("float32"):
+            w32 = mlp(16, 4, np.random.default_rng(5)).get_flat_weights()
+        assert w32.dtype == np.float32
+        np.testing.assert_array_equal(w32, w64.astype(np.float32))
+
+    def test_one_hot_and_dataset_follow_dtype(self):
+        from repro.data.dataset import ArrayDataset
+
+        with default_dtype("float32"):
+            assert F.one_hot(np.array([0, 2]), 3).dtype == np.float32
+            ds = ArrayDataset(np.zeros((4, 2)), np.zeros(4, dtype=int), 2)
+            assert ds.x.dtype == np.float32
+
+    def test_client_update_keeps_float32(self):
+        from repro.fl.client import ClientUpdate
+
+        u = ClientUpdate(
+            client_id=0, weights=np.zeros(5, dtype=np.float32),
+            loss_before=1.0, loss_after=0.5, n_samples=3,
+        )
+        assert u.weights.dtype == np.float32
+
+    def test_client_update_coerces_unsupported_dtypes(self):
+        from repro.fl.client import ClientUpdate
+
+        for weights in (np.zeros(4, dtype=np.float16), [0, 1, 2, 3]):
+            u = ClientUpdate(client_id=0, weights=weights,
+                             loss_before=1.0, loss_after=0.5, n_samples=3)
+            assert u.weights.dtype == get_default_dtype()
+
+    def test_decompress_accepts_integer_global_weights(self):
+        from repro.fl.compression import SparseUpdate, decompress_update
+
+        sparse = SparseUpdate(
+            client_id=0, indices=np.array([1, 3]), values=np.array([0.5, -0.5]),
+            dim=6, loss_before=1.0, loss_after=0.5, n_samples=2,
+        )
+        u = decompress_update(sparse, [0, 0, 0, 0, 0, 0])
+        assert u.weights.dtype.kind == "f"
+        assert u.weights[1] == pytest.approx(0.5)
+
+    def test_combine_updates_stays_float32(self):
+        from repro.fl.client import ClientUpdate
+        from repro.fl.strategies.base import combine_updates
+
+        ups = [
+            ClientUpdate(client_id=i, weights=np.full(4, float(i), dtype=np.float32),
+                         loss_before=1.0, loss_after=0.5, n_samples=2)
+            for i in range(3)
+        ]
+        out = combine_updates(ups, np.full(3, 1.0 / 3.0))
+        assert out.dtype == np.float32
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("float16")
+        assert get_default_dtype() in (np.dtype("float32"), np.dtype("float64"))
+
+
+class TestForwardSeeding:
+    def _dropout_net(self):
+        rng = np.random.default_rng(0)
+        from repro.nn.layers import Dropout
+
+        return Sequential([
+            Flatten(), Dense(4, 8, rng), ReLU(),
+            Dropout(0.5, np.random.default_rng(7)), Dense(8, 2, rng),
+        ])
+
+    def test_seed_forward_override_and_clear(self):
+        model = self._dropout_net()
+        drop = model.layers[3]
+        x = np.zeros((2, 4))
+        model.seed_forward(np.random.default_rng(123))
+        own_state = drop.rng.bit_generator.state["state"]["state"]
+        model.forward(x, training=True)
+        # The override drew the mask; the layer's own generator is untouched.
+        assert drop.rng.bit_generator.state["state"]["state"] == own_state
+        model.seed_forward(None)
+        assert drop._forward_rng is None
+        model.forward(x, training=True)
+        assert drop.rng.bit_generator.state["state"]["state"] != own_state
+
+    def test_same_override_seed_same_masks(self):
+        outs = []
+        for _ in range(2):
+            model = self._dropout_net()
+            model.seed_forward(np.random.default_rng(42))
+            outs.append(model.forward(np.ones((3, 4)), training=True))
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+
+class TestCheckpointPortability:
+    def _server(self, seed=0):
+        from functools import partial
+
+        from repro.fl.server import FederatedServer
+        from repro.fl.strategies import FedAvg
+
+        factory = partial(mlp, 16, 4, hidden=(8,))
+        return FederatedServer(factory, FedAvg(), seed=seed)
+
+    def test_float64_checkpoint_loads_into_float32_server(self):
+        with default_dtype("float64"):
+            src = self._server(seed=1)
+            state = src.state_dict()
+        assert state["global_weights"].dtype == np.float64
+        with default_dtype("float32"):
+            dst = self._server(seed=2)
+            dst.load_state_dict(state)
+        assert dst.global_weights.dtype == np.float32
+        np.testing.assert_allclose(
+            dst.global_weights, state["global_weights"], rtol=1e-6, atol=1e-7
+        )
+        assert dst.round_idx == state["round_idx"]
+
+    def test_float32_checkpoint_loads_into_float64_server(self):
+        with default_dtype("float32"):
+            src = self._server(seed=3)
+            state = src.state_dict()
+        assert state["global_weights"].dtype == np.float32
+        with default_dtype("float64"):
+            dst = self._server(seed=4)
+            dst.load_state_dict(state)
+        assert dst.global_weights.dtype == np.float64
+        np.testing.assert_array_equal(
+            dst.global_weights, state["global_weights"].astype(np.float64)
+        )
+
+
+class TestGoldenHistory:
+    """The float64 path must be bit-identical to the pre-arena seed.
+
+    Hashes were recorded by running the seed implementation (commit
+    ``40a5c5d``) on the same configs; any change to these values means the
+    refactor altered float64 numerics.
+    """
+
+    GOLDEN = {
+        ("fedavg", 6): "9e3c88434e4e8a6dda1b14c345dd9da74621f17eb55ef7bcd2aa63a3efc6c562",
+        ("fedprox", 4): "71cd19bca655cf6301280dda61f44f2cbd5a7c82a06730ad62809aa4090d4028",
+        ("feddrl", 4): "5de1036a98bfee45e7d9ec81120605d3e1473e97adff0c9bbdefdd5e08dd18b0",
+    }
+
+    @pytest.mark.parametrize("method,rounds", sorted(GOLDEN))
+    def test_float64_bit_identical_to_seed(self, method, rounds):
+        from repro.harness.config import ExperimentConfig
+        from repro.harness.runner import build_simulation
+
+        cfg = ExperimentConfig(dataset="mnist", partition="CE", method=method,
+                               scale="ci", rounds=rounds, seed=0)
+        with build_simulation(cfg) as sim:
+            sim.run()
+        digest = hashlib.sha256(
+            np.ascontiguousarray(sim.global_weights).tobytes()
+        ).hexdigest()
+        assert digest == self.GOLDEN[(method, rounds)]

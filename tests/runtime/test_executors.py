@@ -10,6 +10,8 @@ import pytest
 
 from repro.fl.simulation import FederatedSimulation, FLConfig
 from repro.fl.strategies import FedAvg, FedProx
+from repro.nn.layers import Dense, Dropout, Flatten, ReLU
+from repro.nn.model import Sequential
 from repro.runtime.executor import (
     BACKENDS,
     ProcessExecutor,
@@ -20,6 +22,17 @@ from repro.runtime.executor import (
 )
 
 BACKEND_WORKERS = [("serial", None), ("thread", 2), ("process", 2)]
+
+
+def dropout_mlp(rng):
+    """A model with forward-time randomness (picklable for process workers)."""
+    return Sequential([
+        Flatten(),
+        Dense(16, 24, rng),
+        ReLU(),
+        Dropout(0.4, rng),
+        Dense(24, 4, rng),
+    ])
 
 
 def run_history(tiny_data, tiny_clients, tiny_model_factory, backend, workers,
@@ -61,6 +74,21 @@ class TestBackendEquivalence:
         a = run_history(tiny_data, tiny_clients, tiny_model_factory, "thread", 3)
         b = run_history(tiny_data, tiny_clients, tiny_model_factory, "thread", 3)
         np.testing.assert_array_equal(a[1], b[1])
+
+    def test_dropout_models_bit_identical_across_backends(
+        self, tiny_data, tiny_clients
+    ):
+        """Forward-time randomness is keyed on (round, client), so even
+        models with Dropout agree bit-for-bit regardless of backend."""
+        results = {
+            backend: run_history(tiny_data, tiny_clients, dropout_mlp,
+                                 backend, workers)
+            for backend, workers in BACKEND_WORKERS
+        }
+        _, ref_weights = results["serial"]
+        assert np.abs(ref_weights).sum() > 0
+        for backend, (_, weights) in results.items():
+            np.testing.assert_array_equal(weights, ref_weights, err_msg=backend)
 
 
 class TestExecutorMechanics:
