@@ -8,6 +8,8 @@ Examples::
     python -m repro --method fedavg --backend process --workers 4
     python -m repro --method fedavg --latency-model lognormal \
         --straggler-fraction 0.2 --deadline 5 --deadline-policy drop
+    python -m repro --method fedavg --aggregation fedbuff --buffer-size 5 \
+        --latency-model lognormal --straggler-fraction 0.3
     python -m repro --list            # show the valid grid values
 """
 
@@ -19,6 +21,7 @@ import sys
 
 from repro.harness.config import (
     SCALES,
+    VALID_AGGREGATIONS,
     VALID_BACKENDS,
     VALID_DATASETS,
     VALID_DEADLINE_POLICIES,
@@ -26,6 +29,7 @@ from repro.harness.config import (
     VALID_LATENCY_MODELS,
     VALID_METHODS,
     VALID_PARTITIONS,
+    VALID_STALENESS,
     ExperimentConfig,
 )
 from repro.harness.runner import run_experiment
@@ -70,6 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deadline-policy", default="wait",
                         choices=VALID_DEADLINE_POLICIES,
                         help="wait for stragglers or drop their updates")
+    parser.add_argument("--aggregation", default="sync",
+                        choices=VALID_AGGREGATIONS,
+                        help="synchronous rounds, or the event-driven async "
+                             "engine: fedbuff aggregates every --buffer-size "
+                             "arrivals, fedasync on every arrival "
+                             "(needs --latency-model)")
+    parser.add_argument("--buffer-size", type=int, default=5,
+                        help="fedbuff: arrived updates per aggregation")
+    parser.add_argument("--max-concurrency", type=int, default=None,
+                        help="async: max client jobs in flight "
+                             "(default: --per-round)")
+    parser.add_argument("--staleness", default="polynomial",
+                        choices=VALID_STALENESS,
+                        help="async staleness-decay on impact factors")
+    parser.add_argument("--server-mix", type=float, default=None,
+                        help="async server mixing step in (0, 1] "
+                             "(default: 1.0 fedbuff / 0.6 fedasync)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable result")
     parser.add_argument("--list", action="store_true",
@@ -107,6 +128,11 @@ def main(argv: list[str] | None = None) -> int:
             straggler_slowdown=args.straggler_slowdown,
             deadline_s=args.deadline,
             deadline_policy=args.deadline_policy,
+            aggregation=args.aggregation,
+            buffer_size=args.buffer_size,
+            max_concurrency=args.max_concurrency,
+            staleness=args.staleness,
+            server_mix=args.server_mix,
         )
     except ValueError as err:
         # Cross-flag constraints (K <= N, drop needs a deadline, ...) live
@@ -130,18 +156,24 @@ def main(argv: list[str] | None = None) -> int:
             payload["mean_aggregation_ms"] = result.history.mean_aggregation_time() * 1e3
             payload["backend"] = args.backend
             payload["dtype"] = args.dtype
+            if args.aggregation != "sync":
+                payload["accuracy_vs_time"] = result.history.accuracy_vs_time()
         if result.extra:
             payload.update(result.extra)
         print(json.dumps(payload))
     else:
         print(f"{args.method} on {args.dataset}/{args.partition} "
               f"(N={args.clients}, K={args.per_round}, scale={args.scale}, "
-              f"backend={args.backend}):")
+              f"backend={args.backend}, aggregation={args.aggregation}):")
         print(f"  best top-1 accuracy: {result.best_accuracy:.4f}")
         print(f"  wall time:           {result.wall_time_s:.1f}s")
         if result.extra and "sim_time_s" in result.extra:
             print(f"  simulated time:      {result.extra['sim_time_s']:.1f}s "
                   f"({result.extra['dropped_updates']} updates dropped)")
+        if result.extra and "arrivals" in result.extra:
+            print(f"  async:               {result.extra['aggregations']} "
+                  f"aggregations over {result.extra['arrivals']} arrivals, "
+                  f"mean staleness {result.extra['mean_staleness']:.2f}")
         if result.history is not None:
             tail = result.history.accuracy_series()[-3:]
             series = "  ".join(f"r{r}:{v:.3f}" for r, v in tail)

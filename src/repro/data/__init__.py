@@ -11,6 +11,13 @@ plus an IID control.
 """
 
 from repro.data.dataset import ArrayDataset, train_test_split
+from repro.data.shm import (
+    HAVE_SHARED_MEMORY,
+    SharedArrayDataset,
+    SharedMemoryPool,
+    share_clients,
+    share_dataset,
+)
 from repro.data.partition import (
     clustered_equal_partition,
     clustered_nonequal_partition,
@@ -32,6 +39,11 @@ from repro.data.synthetic import (
 
 __all__ = [
     "ArrayDataset",
+    "HAVE_SHARED_MEMORY",
+    "SharedArrayDataset",
+    "SharedMemoryPool",
+    "share_clients",
+    "share_dataset",
     "train_test_split",
     "SyntheticImageSpec",
     "make_synthetic_dataset",

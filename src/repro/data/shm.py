@@ -1,0 +1,190 @@
+"""Shared-memory backing for :class:`~repro.data.dataset.ArrayDataset`.
+
+The process backend ships every client — dataset arrays included — to its
+workers at pool construction.  Under the ``spawn`` start method that is a
+full pickle of every shard per worker; even under ``fork`` the parent
+holds per-client copies (fancy-indexed subsets).  Backing the arrays with
+:mod:`multiprocessing.shared_memory` turns that into one set of pages
+mapped by everyone: pickling a :class:`SharedArrayDataset` ships only
+block names and shapes, and workers attach instead of copying.
+
+Everything degrades transparently: if shared memory is unavailable (no
+``/dev/shm``, exotic platforms, permission failures) the original
+heap-backed datasets are used and behavior is identical — sharing is a
+memory optimisation, never a semantic change.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.fl.client import Client
+
+from repro.data.dataset import ArrayDataset
+
+try:  # pragma: no cover - import always succeeds on CPython >= 3.8
+    from multiprocessing import resource_tracker, shared_memory
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - exotic platforms only
+    shared_memory = None
+    resource_tracker = None
+    HAVE_SHARED_MEMORY = False
+
+
+def _attach_block(name: str):
+    """Attach to an existing block without tracker ownership.
+
+    Attaching processes must not let Python's resource tracker unlink the
+    block (the creating process owns its lifetime); Python 3.13 has a
+    ``track`` flag for exactly this, older versions need the unregister
+    workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Suppress tracker registration for the attach (rather than
+        # unregistering afterwards, which would strip the *creator's*
+        # entry from the shared tracker and leave the block untracked).
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def _attach_dataset(
+    xname: str, xshape: tuple, xdtype: str,
+    yname: str, yshape: tuple, ydtype: str,
+    num_classes: int,
+) -> "SharedArrayDataset":
+    """Unpickling target: rebuild a dataset over the existing blocks."""
+    xblk = _attach_block(xname)
+    yblk = _attach_block(yname)
+    x = np.ndarray(xshape, dtype=np.dtype(xdtype), buffer=xblk.buf)
+    y = np.ndarray(yshape, dtype=np.dtype(ydtype), buffer=yblk.buf)
+    return SharedArrayDataset._wrap(x, y, num_classes, (xblk, yblk))
+
+
+class SharedArrayDataset(ArrayDataset):
+    """An :class:`ArrayDataset` whose arrays live in named shared memory.
+
+    Construction goes through :func:`share_dataset`; instances keep their
+    :class:`~multiprocessing.shared_memory.SharedMemory` handles alive for
+    as long as the arrays are referenced.  Pickling serialises block
+    *names*, not data — the receiving process maps the same pages.
+    ``subset`` (inherited) still copies out of shared memory, which is
+    what callers want: derived datasets have independent lifetimes.
+    """
+
+    _shm_blocks: tuple = ()
+
+    @classmethod
+    def _wrap(cls, x, y, num_classes, blocks) -> "SharedArrayDataset":
+        # Bypass ArrayDataset.__init__: it would copy/coerce, and x/y are
+        # already validated views over the shared buffers.
+        obj = cls.__new__(cls)
+        obj.x = x
+        obj.y = y
+        obj.num_classes = num_classes
+        obj._shm_blocks = tuple(blocks)
+        return obj
+
+    def __reduce__(self):
+        xblk, yblk = self._shm_blocks
+        return (_attach_dataset, (
+            xblk.name, self.x.shape, self.x.dtype.str,
+            yblk.name, self.y.shape, self.y.dtype.str,
+            self.num_classes,
+        ))
+
+
+def share_dataset(dataset: ArrayDataset) -> tuple[ArrayDataset, list]:
+    """Copy ``dataset`` into shared memory.
+
+    Returns ``(shared_dataset, blocks)`` where ``blocks`` are the newly
+    created :class:`SharedMemory` segments the caller now owns (see
+    :class:`SharedMemoryPool`).  On any failure — no shared-memory
+    support, creation error — returns ``(dataset, [])`` unchanged.
+    """
+    if not HAVE_SHARED_MEMORY:
+        return dataset, []
+    if isinstance(dataset, SharedArrayDataset):
+        return dataset, []
+    try:
+        xblk = shared_memory.SharedMemory(create=True, size=max(1, dataset.x.nbytes))
+        try:
+            yblk = shared_memory.SharedMemory(create=True, size=max(1, dataset.y.nbytes))
+        except Exception:
+            xblk.close()
+            xblk.unlink()
+            raise
+    except Exception:
+        return dataset, []
+    x = np.ndarray(dataset.x.shape, dtype=dataset.x.dtype, buffer=xblk.buf)
+    y = np.ndarray(dataset.y.shape, dtype=dataset.y.dtype, buffer=yblk.buf)
+    np.copyto(x, dataset.x)
+    np.copyto(y, dataset.y)
+    blocks = [xblk, yblk]
+    return SharedArrayDataset._wrap(x, y, dataset.num_classes, blocks), blocks
+
+
+class SharedMemoryPool:
+    """Owns a set of shared blocks and unlinks them on :meth:`close`."""
+
+    def __init__(self) -> None:
+        self._blocks: list = []
+
+    def adopt(self, blocks: list) -> None:
+        self._blocks.extend(blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    def close(self) -> None:
+        """Unlink every block (idempotent).
+
+        Unlink comes first — it removes the name; the pages themselves
+        survive until the last mapping (ours or a worker's) goes away, so
+        a lingering NumPy view can never see freed memory.  ``close`` on
+        our own handle is best-effort: live views legitimately keep the
+        mapping open.
+        """
+        blocks, self._blocks = self._blocks, []
+        for block in blocks:
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                block.close()
+            except BufferError:
+                # A dataset view still references the buffer; the mapping
+                # is released when the view is garbage-collected.
+                pass
+
+
+def share_clients(clients: list["Client"]) -> tuple[list["Client"], SharedMemoryPool]:
+    """Rebind every client's dataset to shared memory where possible.
+
+    Returns new (shallow-copied) clients plus the pool that owns the
+    blocks; clients whose datasets could not be shared are passed through
+    untouched, so the result is always usable.
+    """
+    pool = SharedMemoryPool()
+    shared_clients = []
+    for client in clients:
+        shared, blocks = share_dataset(client.dataset)
+        if blocks:
+            clone = copy.copy(client)
+            clone.dataset = shared
+            shared_clients.append(clone)
+            pool.adopt(blocks)
+        else:
+            shared_clients.append(client)
+    return shared_clients, pool

@@ -8,6 +8,17 @@ global model.  ``SingleSet`` (centralised training) is included as the
 reference upper bound used throughout the paper's tables.
 """
 
+from repro.fl.async_ import (
+    AGGREGATION_MODES,
+    AsyncFederatedServer,
+    ConstantStaleness,
+    EventQueue,
+    HingeStaleness,
+    PolynomialStaleness,
+    STALENESS_POLICIES,
+    StalenessWeighting,
+    get_staleness_weighting,
+)
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.compression import CompressedClients, compress_update, decompress_update
 from repro.fl.env import FederatedEnv
@@ -19,7 +30,13 @@ from repro.fl.selection import (
 )
 from repro.fl.server import FederatedServer
 from repro.fl.fairness import client_loss_stats, fairness_series
-from repro.fl.simulation import FederatedSimulation, FLConfig, History, RoundRecord
+from repro.fl.simulation import (
+    EventRecord,
+    FederatedSimulation,
+    FLConfig,
+    History,
+    RoundRecord,
+)
 from repro.fl.singleset import SingleSetResult, train_singleset
 from repro.fl.strategies import (
     FedAvg,
@@ -33,9 +50,19 @@ from repro.fl.strategies import (
 from repro.fl.timing import Timer, measure_server_overhead
 
 __all__ = [
+    "AGGREGATION_MODES",
+    "AsyncFederatedServer",
     "Client",
     "ClientUpdate",
+    "ConstantStaleness",
+    "EventQueue",
+    "EventRecord",
     "FederatedEnv",
+    "HingeStaleness",
+    "PolynomialStaleness",
+    "STALENESS_POLICIES",
+    "StalenessWeighting",
+    "get_staleness_weighting",
     "FederatedServer",
     "FederatedSimulation",
     "FLConfig",

@@ -1,0 +1,319 @@
+"""The event-driven asynchronous federated server (FedBuff / FedAsync).
+
+Where :class:`~repro.fl.simulation.FederatedSimulation` runs a barrier —
+every round waits for its slowest participant — this server keeps up to
+``max_concurrency`` client jobs in flight and reacts to *arrivals* in
+virtual-time order:
+
+1. Pop the earliest finish event from the :class:`EventQueue`.
+2. Buffer the arrived update together with its staleness (how many
+   aggregations happened since the job was dispatched).
+3. When the buffer holds ``buffer_size`` updates (``mode="fedbuff"``) or
+   on every arrival (``mode="fedasync"``), aggregate: the strategy's
+   impact factors are composed with a staleness decay, renormalized
+   inside :func:`~repro.fl.strategies.combine_updates`, and the global
+   model moves toward the buffered combination by a ``server_mix`` step
+   scaled by the buffer's average staleness factor (FedAsync's adaptive
+   alpha, generalized to buffers).
+4. Refill the free slot by dispatching a new job against the *current*
+   global weights.
+
+The total local-work budget matches the synchronous loop — ``rounds ×
+clients_per_round`` jobs — so sync-vs-async comparisons hold compute
+constant and differ only in protocol.
+
+**Determinism.**  Job durations come from the virtual clock's ``(job,
+client)``-keyed jitter streams, dispatch choices from a dedicated
+sequential RNG consumed in event order, and batch/forward RNGs from the
+same ``(job, client)`` cells the synchronous rounds use — so the whole
+event timeline, and therefore every aggregation, is bit-identical across
+the serial / thread / process backends.  Actual training is *lazy and
+batched*: a job's update is materialized only when its arrival is
+popped, at which point every in-flight job dispatched against the same
+model version trains through one :class:`~repro.runtime.executor`
+round-trip — that is where parallel backends earn their keep.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.fl.async_.events import ClientJob, EventQueue
+from repro.fl.async_.staleness import PolynomialStaleness, StalenessWeighting
+from repro.fl.client import Client, ClientUpdate
+from repro.fl.simulation import EventRecord, FLConfig, History, RoundRecord
+from repro.fl.strategies.base import Strategy, combine_updates
+from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
+from repro.nn.metrics import top1_accuracy
+from repro.runtime.clock import VirtualClock, n_local_batches
+from repro.runtime.executor import Executor, RoundContext, SerialExecutor
+
+AGGREGATION_MODES = ("fedbuff", "fedasync")
+
+# Default server mixing steps: FedBuff replaces the global model with the
+# buffered combination (the buffer already averages M models); FedAsync
+# mixes a single — often stale — client model conservatively (the
+# literature's alpha ~ 0.6).
+_DEFAULT_MIX = {"fedbuff": 1.0, "fedasync": 0.6}
+
+
+class AsyncFederatedServer:
+    """Buffered-asynchronous FL over a fixed client population."""
+
+    def __init__(
+        self,
+        clients: list[Client],
+        test_set: ArrayDataset | None,
+        model_factory,
+        strategy: Strategy,
+        config: FLConfig,
+        clock: VirtualClock,
+        executor: Executor | None = None,
+        mode: str = "fedbuff",
+        buffer_size: int = 5,
+        max_concurrency: int | None = None,
+        staleness: StalenessWeighting | None = None,
+        server_mix: float | None = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        if clock is None:
+            raise ValueError(
+                "asynchronous aggregation needs a VirtualClock — arrival "
+                "order is defined by simulated device latency"
+            )
+        if mode not in AGGREGATION_MODES:
+            raise ValueError(f"mode must be one of {AGGREGATION_MODES}, got {mode!r}")
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if max_concurrency is None:
+            max_concurrency = config.clients_per_round
+        if max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        if max_concurrency > len(clients):
+            raise ValueError(
+                f"max_concurrency={max_concurrency} exceeds population "
+                f"{len(clients)} (a client holds at most one job at a time)"
+            )
+        if server_mix is None:
+            server_mix = _DEFAULT_MIX[mode]
+        if not 0.0 < server_mix <= 1.0:
+            raise ValueError("server_mix must be in (0, 1]")
+
+        self.clients = clients
+        self.test_set = test_set
+        self.strategy = strategy
+        self.config = config
+        self.clock = clock
+        self.mode = mode
+        # FedAsync is exactly a buffer of one.
+        self.flush_size = 1 if mode == "fedasync" else buffer_size
+        self.max_concurrency = max_concurrency
+        self.staleness = staleness if staleness is not None else PolynomialStaleness()
+        self.server_mix = float(server_mix)
+        # Total local-work budget: identical to the synchronous loop's.
+        self.total_jobs = config.rounds * config.clients_per_round
+        self.model = model_factory(np.random.default_rng(config.seed))
+        self.global_weights = self.model.get_flat_weights()
+        if executor is None:
+            executor = SerialExecutor(clients, model_factory, model=self.model)
+        self.executor = executor
+        # Dispatch choices are consumed strictly in event order, so one
+        # sequential stream is deterministic under every backend.
+        self._dispatch_rng = np.random.default_rng(config.seed + 29)
+        self.history = History()
+        self.discarded_updates = 0
+        self._loss = SoftmaxCrossEntropy()
+
+    # -- dispatch -----------------------------------------------------------
+    def _pick_client(self, idle: set[int]) -> int:
+        """Uniform choice among idle clients (sorted for determinism)."""
+        pool = sorted(idle)
+        return int(pool[self._dispatch_rng.integers(len(pool))])
+
+    def _dispatch_until_full(
+        self,
+        now: float,
+        version: int,
+        queue: EventQueue,
+        idle: set[int],
+        in_flight: dict[int, ClientJob],
+        next_job: int,
+    ) -> int:
+        """Fill free concurrency slots with jobs against the current model."""
+        cfg = self.config
+        while next_job < self.total_jobs and len(in_flight) < self.max_concurrency and idle:
+            cid = self._pick_client(idle)
+            batches = n_local_batches(
+                self.clients[cid].n_samples, cfg.local_epochs, cfg.batch_size
+            )
+            job = ClientJob(
+                job_idx=next_job,
+                client_id=cid,
+                dispatch_time_s=now,
+                duration_s=self.clock.client_time(next_job, cid, batches),
+                model_version=version,
+                global_weights=self.global_weights,
+            )
+            queue.push(job)
+            in_flight[job.job_idx] = job
+            idle.discard(cid)
+            next_job += 1
+        return next_job
+
+    # -- lazy batched training ---------------------------------------------
+    def _materialize(
+        self,
+        job: ClientJob,
+        in_flight: dict[int, ClientJob],
+        computed: dict[int, ClientUpdate],
+    ) -> ClientUpdate:
+        """Train ``job`` (and, in one executor batch, every in-flight job
+        dispatched against the same model version)."""
+        if job.job_idx not in computed:
+            group = [
+                j for j in in_flight.values()
+                if j.model_version == job.model_version and j.job_idx not in computed
+            ]
+            ctx = RoundContext(
+                round_idx=job.job_idx,
+                global_weights=job.global_weights,
+                epochs=self.config.local_epochs,
+                lr=self.config.lr,
+                batch_size=self.config.batch_size,
+                base_seed=self.config.seed,
+                client_kwargs=self.strategy.client_kwargs(),
+                job_rounds={j.client_id: j.job_idx for j in group},
+            )
+            updates = self.executor.run_round(ctx, [j.client_id for j in group])
+            for j, update in zip(group, updates):
+                computed[j.job_idx] = update
+        return computed.pop(job.job_idx)
+
+    # -- aggregation --------------------------------------------------------
+    def _aggregate(
+        self,
+        buffer: list[tuple[ClientUpdate, int, float]],
+        agg_idx: int,
+        now: float,
+        last_agg_t: float,
+    ) -> RoundRecord:
+        """One buffer flush: staleness-composed impact factors, eq. (4),
+        and a staleness-scaled server mixing step."""
+        updates = [u for u, _, _ in buffer]
+        stalenesses = [s for _, s, _ in buffer]
+        factors = np.array([f for _, _, f in buffer])
+
+        t0 = time.perf_counter()
+        base = np.asarray(self.strategy.impact_factors(updates, agg_idx), dtype=float)
+        t1 = time.perf_counter()
+        alphas = base * factors
+        combined = combine_updates(updates, alphas, normalize=True)
+        # FedAsync's adaptive alpha, generalized: the global model moves by
+        # server_mix scaled with the buffer's average staleness factor
+        # (base sums to 1, so the weighted mean is just alphas.sum()).
+        mix = min(1.0, self.server_mix * float(alphas.sum()))
+        self.global_weights = (1.0 - mix) * self.global_weights + mix * combined
+        t2 = time.perf_counter()
+        self.strategy.on_round_end(updates, agg_idx)
+
+        record = RoundRecord(
+            round_idx=agg_idx,
+            participants=[u.client_id for u in updates],
+            impact_factors=alphas / alphas.sum(),
+            client_losses_before=np.array([u.loss_before for u in updates]),
+            client_losses_after=np.array([u.loss_after for u in updates]),
+            client_sizes=np.array([u.n_samples for u in updates]),
+            impact_time_s=t1 - t0,
+            aggregation_time_s=t2 - t1,
+            sim_makespan_s=now - last_agg_t,
+            staleness=stalenesses,
+            staleness_factors=[float(f) for f in factors],
+        )
+        if self.test_set is not None and agg_idx % self.config.eval_every == 0:
+            self._evaluate(record)
+        self.history.append(record)
+        return record
+
+    def _evaluate(self, record: RoundRecord) -> None:
+        self.model.set_flat_weights(self.global_weights)
+        record.test_accuracy = top1_accuracy(
+            self.model, self.test_set.x, self.test_set.y
+        )
+        record.test_loss = evaluate_loss(
+            self.model, self._loss, self.test_set.x, self.test_set.y
+        )
+
+    # -- the event loop ------------------------------------------------------
+    def run(self) -> History:
+        """Process all ``total_jobs`` arrivals in virtual-time order."""
+        queue = EventQueue()
+        idle = {c.client_id for c in self.clients}
+        in_flight: dict[int, ClientJob] = {}
+        computed: dict[int, ClientUpdate] = {}
+        buffer: list[tuple[ClientUpdate, int, float]] = []
+        version = 0
+        last_agg_t = 0.0
+        now = 0.0
+        next_job = self._dispatch_until_full(0.0, version, queue, idle, in_flight, 0)
+
+        while queue:
+            event = queue.pop()
+            now = event.time_s
+            job = event.job
+            update = self._materialize(job, in_flight, computed)
+            del in_flight[job.job_idx]
+            idle.add(job.client_id)
+
+            staleness = version - job.model_version
+            factor = self.staleness.factor(staleness)
+            self.history.append_event(EventRecord(
+                job_idx=job.job_idx,
+                client_id=job.client_id,
+                dispatch_time_s=job.dispatch_time_s,
+                arrival_time_s=now,
+                dispatch_version=job.model_version,
+                arrival_version=version,
+                staleness=staleness,
+                staleness_factor=factor,
+            ))
+            buffer.append((update, staleness, factor))
+
+            if len(buffer) >= self.flush_size:
+                self._aggregate(buffer, version, now, last_agg_t)
+                buffer = []
+                version += 1
+                last_agg_t = now
+            next_job = self._dispatch_until_full(
+                now, version, queue, idle, in_flight, next_job
+            )
+
+        if buffer:
+            # A partial final buffer: flush it unless the strategy needs a
+            # fixed participation level (FedDRL's agent has a hard K).
+            if getattr(self.strategy, "fixed_k", False):
+                self.discarded_updates += len(buffer)
+            else:
+                self._aggregate(buffer, version, now, last_agg_t)
+                version += 1
+        # The final model always gets an evaluation, whatever eval_every is.
+        if (
+            self.test_set is not None
+            and self.history.records
+            and self.history.records[-1].test_accuracy is None
+        ):
+            self._evaluate(self.history.records[-1])
+        return self.history
+
+    def close(self) -> None:
+        """Release the execution backend's workers (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "AsyncFederatedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -72,16 +72,49 @@ class RoundRecord:
     # Virtual-clock fields (None / empty when no clock is attached).
     sim_makespan_s: float | None = None
     dropped_clients: list[int] = field(default_factory=list)
+    # Async-aggregation fields (empty for synchronous rounds): per-update
+    # staleness in model versions and the decay factor applied to each.
+    staleness: list[int] = field(default_factory=list)
+    staleness_factors: list[float] = field(default_factory=list)
+
+
+@dataclass
+class EventRecord:
+    """One client-update *arrival* in an asynchronous run.
+
+    Synchronous rounds have no per-update timeline (the barrier collapses
+    a round into one instant); the async engine appends one of these per
+    arrival so figures can plot against simulated time at event
+    granularity, alongside the per-aggregation :class:`RoundRecord` list.
+    """
+
+    job_idx: int
+    client_id: int
+    dispatch_time_s: float
+    arrival_time_s: float
+    dispatch_version: int
+    arrival_version: int
+    staleness: int
+    staleness_factor: float
 
 
 @dataclass
 class History:
-    """Accumulated round records with the paper's summary views."""
+    """Accumulated round records with the paper's summary views.
+
+    ``records`` holds one entry per aggregation (a synchronous round or an
+    async buffer flush); ``events`` holds one entry per client-update
+    arrival and is populated only by the asynchronous engine.
+    """
 
     records: list[RoundRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
         self.records.append(record)
+
+    def append_event(self, event: EventRecord) -> None:
+        self.events.append(event)
 
     # -- series used by the figure benches -----------------------------------
     def accuracy_series(self) -> list[tuple[int, float]]:
@@ -133,6 +166,32 @@ class History:
     def total_dropped(self) -> int:
         """Updates discarded by the virtual clock's deadline policy."""
         return sum(len(r.dropped_clients) for r in self.records)
+
+    def accuracy_vs_time(self) -> list[tuple[float, float]]:
+        """(cumulative simulated seconds, accuracy) for evaluated records.
+
+        The natural x-axis for comparing synchronous and asynchronous
+        protocols: equal round/aggregation counts cost very different
+        amounts of simulated time once stragglers enter the picture.
+        """
+        t = 0.0
+        out = []
+        for r in self.records:
+            if r.sim_makespan_s is not None:
+                t += r.sim_makespan_s
+            if r.test_accuracy is not None:
+                out.append((float(t), r.test_accuracy))
+        return out
+
+    def arrival_series(self) -> list[tuple[float, int]]:
+        """(arrival time, client id) per async event, in arrival order."""
+        return [(e.arrival_time_s, e.client_id) for e in self.events]
+
+    def mean_staleness(self) -> float:
+        """Average staleness (in model versions) over all async arrivals."""
+        if not self.events:
+            return 0.0
+        return float(np.mean([e.staleness for e in self.events]))
 
 
 class FederatedSimulation:

@@ -16,11 +16,19 @@ from repro.fl.client import ClientUpdate
 from repro.nn.dtypes import get_default_dtype
 
 
-def combine_updates(updates: list[ClientUpdate], alphas: np.ndarray) -> np.ndarray:
+def combine_updates(
+    updates: list[ClientUpdate], alphas: np.ndarray, normalize: bool = False
+) -> np.ndarray:
     """Eq. (4): the convex combination of client weight vectors.
 
     Vectorised as a single ``alpha @ W`` product over the stacked client
     weight matrix — this is the hot path the paper times in Fig. 9.
+
+    Synchronous strategies produce alphas that already sum to 1, and the
+    default enforces that.  Asynchronous aggregation composes impact
+    factors with staleness-decay weights, which do not naturally sum to
+    1; ``normalize=True`` accepts any non-negative vector with positive
+    mass and normalizes it here, inside the timed hot path.
     """
     if not updates:
         raise ValueError("cannot aggregate an empty update set")
@@ -32,7 +40,11 @@ def combine_updates(updates: list[ClientUpdate], alphas: np.ndarray) -> np.ndarr
     if np.any(alphas < -1e-12):
         raise ValueError("impact factors must be non-negative")
     total = alphas.sum()
-    if not np.isclose(total, 1.0, atol=1e-6):
+    if normalize:
+        if total <= 0:
+            raise ValueError("impact factors must have positive total mass")
+        alphas = alphas / total
+    elif not np.isclose(total, 1.0, atol=1e-6):
         raise ValueError(f"impact factors must sum to 1 (got {total})")
     weight_matrix = np.stack([u.weights for u in updates])  # (K, D)
     # Cast alphas into the weight dtype so a float32 substrate aggregates
@@ -69,6 +81,10 @@ class Strategy:
     """
 
     name: str = "base"
+    # True when the strategy only works at one fixed participation level K
+    # (FedDRL's agent dimensions); the async engine will not hand such a
+    # strategy a short final buffer.
+    fixed_k: bool = False
 
     def impact_factors(self, updates: list[ClientUpdate], round_idx: int) -> np.ndarray:
         """Return the length-K impact-factor vector for this round."""

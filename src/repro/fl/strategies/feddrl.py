@@ -30,6 +30,7 @@ class FedDRL(Strategy):
     """DRL-weighted aggregation (the paper's contribution)."""
 
     name = "feddrl"
+    fixed_k = True  # the agent's state/action dims are built for exactly K
 
     def __init__(
         self,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.fl.async_ import AGGREGATION_MODES, STALENESS_POLICIES
 from repro.nn.dtypes import SUPPORTED_DTYPES
 from repro.runtime import BACKENDS, DEADLINE_POLICIES, LATENCY_MODELS
 
@@ -28,6 +29,10 @@ VALID_METHODS = ("fedavg", "fedprox", "feddrl", "singleset")
 VALID_BACKENDS = BACKENDS
 VALID_LATENCY_MODELS = ("none", *LATENCY_MODELS)
 VALID_DEADLINE_POLICIES = DEADLINE_POLICIES
+# Aggregation protocols: the synchronous round loop, or the async engine's
+# buffered (fedbuff) / per-arrival (fedasync) modes (repro.fl.async_).
+VALID_AGGREGATIONS = ("sync", *AGGREGATION_MODES)
+VALID_STALENESS = STALENESS_POLICIES
 
 
 @dataclass(frozen=True)
@@ -117,6 +122,16 @@ class ExperimentConfig:
     straggler_slowdown: float = 8.0
     deadline_s: float | None = None
     deadline_policy: str = "wait"
+    # Asynchronous aggregation (repro.fl.async_).  "sync" keeps the
+    # classic per-round barrier; "fedbuff" aggregates whenever buffer_size
+    # updates have arrived in virtual time; "fedasync" on every arrival.
+    # Async modes need a latency_model (arrival order *is* device timing)
+    # and run the same total local-work budget as sync (rounds x K jobs).
+    aggregation: str = "sync"
+    buffer_size: int = 5
+    max_concurrency: int | None = None  # None -> clients_per_round
+    staleness: str = "polynomial"
+    server_mix: float | None = None  # None -> 1.0 fedbuff / 0.6 fedasync
 
     def __post_init__(self) -> None:
         if self.dataset not in VALID_DATASETS:
@@ -173,6 +188,51 @@ class ExperimentConfig:
                 "feddrl needs exactly K updates per round; "
                 "deadline_policy='drop' is unsupported for it (use 'wait')"
             )
+        if self.aggregation not in VALID_AGGREGATIONS:
+            raise ValueError(f"aggregation must be one of {VALID_AGGREGATIONS}")
+        if self.staleness not in VALID_STALENESS:
+            raise ValueError(f"staleness must be one of {VALID_STALENESS}")
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if self.max_concurrency is not None and self.max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive when given")
+        if self.server_mix is not None and not 0.0 < self.server_mix <= 1.0:
+            raise ValueError("server_mix must be in (0, 1] when given")
+        if self.aggregation != "sync":
+            if self.method == "singleset":
+                raise ValueError(
+                    "singleset is centralized training — asynchronous "
+                    "aggregation does not apply to it"
+                )
+            if self.latency_model == "none":
+                raise ValueError(
+                    "asynchronous aggregation needs a latency_model — "
+                    "arrival order is defined by simulated device timing; "
+                    "pick one of "
+                    f"{tuple(m for m in VALID_LATENCY_MODELS if m != 'none')}"
+                )
+            if self.deadline_s is not None or self.deadline_policy != "wait":
+                raise ValueError(
+                    "round deadlines are a synchronous concept — the async "
+                    "engine never waits on a round barrier"
+                )
+            if self.method == "feddrl" and self.aggregation == "fedasync":
+                raise ValueError(
+                    "feddrl needs a fixed participation level; fedasync "
+                    "aggregates single updates (use fedbuff, where the "
+                    "agent is built for K=buffer_size)"
+                )
+            if self.method == "feddrl" and self.drl_pretrain_rounds > 0:
+                raise ValueError(
+                    "two-stage pretraining trains an agent for K="
+                    "clients_per_round synchronous rounds; it cannot seed "
+                    "an async buffer-sized agent"
+                )
+            if self.max_concurrency is not None and self.max_concurrency > self.n_clients:
+                raise ValueError(
+                    "max_concurrency cannot exceed n_clients (a client "
+                    "holds at most one job at a time)"
+                )
 
     # -- resolved views ------------------------------------------------------
     @property

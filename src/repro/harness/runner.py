@@ -11,6 +11,7 @@ import numpy as np
 from repro.data.dataset import ArrayDataset
 from repro.data.partition import get_partitioner
 from repro.data.synthetic import cifar100_like, fashion_like, mnist_like
+from repro.fl.async_ import AsyncFederatedServer, get_staleness_weighting
 from repro.fl.client import make_clients
 from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
@@ -84,7 +85,12 @@ def build_partition(
 
 
 def build_strategy(cfg: ExperimentConfig) -> Strategy:
-    """Instantiate the aggregation strategy for a federated method."""
+    """Instantiate the aggregation strategy for a federated method.
+
+    Under buffered-async aggregation the strategy sees one *buffer* of
+    updates per aggregation, so FedDRL's agent is built for
+    K=buffer_size rather than K=clients_per_round.
+    """
     if cfg.method == "fedavg":
         return FedAvg()
     if cfg.method == "fedprox":
@@ -107,8 +113,11 @@ def build_strategy(cfg: ExperimentConfig) -> Strategy:
         agent = None
         if cfg.drl_pretrain_rounds > 0:
             agent = pretrain_feddrl_agent(cfg, drl_cfg)
+        participation = (
+            cfg.buffer_size if cfg.aggregation == "fedbuff" else cfg.clients_per_round
+        )
         return FedDRL(
-            clients_per_round=cfg.clients_per_round,
+            clients_per_round=participation,
             drl_config=drl_cfg,
             agent=agent,
             seed=cfg.seed + 13,
@@ -186,9 +195,14 @@ def build_fl_config(cfg: ExperimentConfig) -> FLConfig:
     )
 
 
-def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation:
+def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation | AsyncFederatedServer:
     """Everything up to (but not including) ``run()`` — used by figures that
-    need access to the live simulation."""
+    need access to the live simulation.
+
+    ``aggregation="sync"`` builds the classic round loop; ``fedbuff`` /
+    ``fedasync`` build the event-driven engine instead — both expose the
+    same run()/close()/history/clock surface.
+    """
     # The compute dtype must be pinned before any dataset/model allocation;
     # models, datasets and optimisers capture it at build time.
     set_default_dtype(cfg.dtype)
@@ -203,6 +217,17 @@ def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation:
     executor = None
     if cfg.backend != "serial":
         executor = build_executor(cfg, clients, model_factory)
+    if cfg.aggregation != "sync":
+        return AsyncFederatedServer(
+            clients, test_set, model_factory, strategy, build_fl_config(cfg),
+            clock=build_clock(cfg),
+            executor=executor,
+            mode=cfg.aggregation,
+            buffer_size=cfg.buffer_size,
+            max_concurrency=cfg.max_concurrency,
+            staleness=get_staleness_weighting(cfg.staleness),
+            server_mix=cfg.server_mix,
+        )
     return FederatedSimulation(
         clients, test_set, model_factory, strategy, build_fl_config(cfg),
         executor=executor, clock=build_clock(cfg),
@@ -254,6 +279,14 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
             "sim_time_s": history.total_sim_time(),
             "dropped_updates": history.total_dropped(),
         }
+        if cfg.aggregation != "sync":
+            extra.update({
+                "aggregation": cfg.aggregation,
+                "aggregations": len(history.records),
+                "arrivals": len(history.events),
+                "mean_staleness": history.mean_staleness(),
+                "discarded_updates": sim.discarded_updates,
+            })
     return ExperimentResult(
         config=cfg,
         best_accuracy=history.best_accuracy(),

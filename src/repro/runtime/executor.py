@@ -47,7 +47,15 @@ BACKENDS = ("serial", "thread", "process")
 
 @dataclass(frozen=True)
 class RoundContext:
-    """Everything a worker needs to train one round's participants."""
+    """Everything a worker needs to train one round's participants.
+
+    ``job_rounds`` overrides the RNG cell's round index per client: the
+    asynchronous engine dispatches each client *job* with its own unique
+    index (a client may train many times at different virtual moments),
+    but a batch of jobs sharing the same global weights still crosses the
+    executor boundary as one round.  Synchronous rounds leave it ``None``
+    and every participant seeds from ``round_idx``.
+    """
 
     round_idx: int
     global_weights: np.ndarray
@@ -56,6 +64,7 @@ class RoundContext:
     batch_size: int
     base_seed: int
     client_kwargs: dict = field(default_factory=dict)
+    job_rounds: dict[int, int] | None = None
 
 
 def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
@@ -66,9 +75,12 @@ def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
     ``(seed, round, client)`` — never of the worker or replica that
     happens to serve the client.
     """
-    rng = client_round_rng(ctx.base_seed, ctx.round_idx, client.client_id)
+    seed_round = ctx.round_idx
+    if ctx.job_rounds is not None:
+        seed_round = ctx.job_rounds.get(client.client_id, seed_round)
+    rng = client_round_rng(ctx.base_seed, seed_round, client.client_id)
     forward_rng = client_round_rng(
-        ctx.base_seed, ctx.round_idx, client.client_id, stream=STREAM_FORWARD
+        ctx.base_seed, seed_round, client.client_id, stream=STREAM_FORWARD
     )
     return client.local_train(
         model,
@@ -178,16 +190,27 @@ def _run_chunk(ctx: RoundContext, chunk: list[tuple[int, int]]) -> list[tuple[in
 
 
 class ProcessExecutor(Executor):
-    """Process pool with per-worker model replicas and chunked dispatch."""
+    """Process pool with per-worker model replicas and chunked dispatch.
+
+    Client datasets are moved into :mod:`multiprocessing.shared_memory`
+    before the clients are shipped to the workers, so each worker maps the
+    parent's pages instead of materialising its own copy of every shard
+    (pickling a shared dataset transfers block names, not arrays).  Falls
+    back to plain pickling transparently when shared memory is
+    unavailable; see :mod:`repro.data.shm`.
+    """
 
     name = "process"
 
     def __init__(self, clients: list[Client], model_factory, workers: int | None = None) -> None:
+        from repro.data.shm import share_clients
+
         self.workers = max(1, workers or (os.cpu_count() or 1))
+        shared_clients, self._shm_pool = share_clients(list(clients))
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(list(clients), model_factory, get_default_dtype().name),
+            initargs=(shared_clients, model_factory, get_default_dtype().name),
         )
 
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
@@ -205,6 +228,7 @@ class ProcessExecutor(Executor):
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        self._shm_pool.close()
 
 
 def make_executor(

@@ -1,0 +1,172 @@
+"""Shared-memory dataset backing for the process backend.
+
+Pickling a shared dataset must ship block names (bytes, not arrays), the
+attach path must reproduce the data exactly, and every failure mode must
+fall back to plain heap-backed datasets without changing behavior.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.data.shm as shm_mod
+from repro.data.dataset import ArrayDataset
+from repro.data.shm import (
+    HAVE_SHARED_MEMORY,
+    SharedArrayDataset,
+    SharedMemoryPool,
+    share_clients,
+    share_dataset,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    return ArrayDataset(rng.normal(size=(40, 1, 4, 4)), rng.integers(0, 4, 40), 4)
+
+
+@pytest.fixture
+def tiny_clients():
+    from functools import partial
+
+    from repro.data.partition import iid_partition
+    from repro.data.synthetic import SyntheticImageSpec, make_synthetic_dataset
+    from repro.fl.client import make_clients
+
+    spec = SyntheticImageSpec(num_classes=4, channels=1, image_size=4, noise=0.3)
+    train, _ = make_synthetic_dataset(spec, 240, 80, np.random.default_rng(0))
+    parts = iid_partition(train.y, 6, np.random.default_rng(1))
+    return make_clients(train, parts, seed=2)
+
+
+@pytest.fixture
+def tiny_model_factory(tiny_clients):
+    from functools import partial
+
+    from repro.nn.models import mlp
+
+    features = int(np.prod(tiny_clients[0].dataset.x.shape[1:]))
+    return partial(mlp, features, 4, hidden=(16,))
+
+
+@pytest.fixture
+def pool():
+    p = SharedMemoryPool()
+    yield p
+    p.close()
+
+
+class TestShareDataset:
+    def test_contents_preserved(self, dataset, pool):
+        shared, blocks = share_dataset(dataset)
+        pool.adopt(blocks)
+        assert isinstance(shared, SharedArrayDataset)
+        assert len(blocks) == 2
+        np.testing.assert_array_equal(shared.x, dataset.x)
+        np.testing.assert_array_equal(shared.y, dataset.y)
+        assert shared.num_classes == dataset.num_classes
+
+    def test_pickle_ships_names_not_arrays(self, dataset, pool):
+        shared, blocks = share_dataset(dataset)
+        pool.adopt(blocks)
+        blob = pickle.dumps(shared)
+        assert len(blob) < 512  # block names + shapes; raw x alone is >5KB
+        attached = pickle.loads(blob)
+        assert isinstance(attached, SharedArrayDataset)
+        np.testing.assert_array_equal(attached.x, dataset.x)
+        np.testing.assert_array_equal(attached.y, dataset.y)
+        # Same pages: a write through one view is visible through the other.
+        attached.x[0, 0, 0, 0] = 123.0
+        assert shared.x[0, 0, 0, 0] == 123.0
+
+    def test_subset_copies_out_of_shared_memory(self, dataset, pool):
+        shared, blocks = share_dataset(dataset)
+        pool.adopt(blocks)
+        sub = shared.subset(np.arange(5))
+        assert type(sub) is ArrayDataset
+        sub.x[...] = -1.0
+        assert not np.any(shared.x[:5] == -1.0)
+
+    def test_sharing_twice_is_a_noop(self, dataset, pool):
+        shared, blocks = share_dataset(dataset)
+        pool.adopt(blocks)
+        again, more = share_dataset(shared)
+        assert again is shared
+        assert more == []
+
+    def test_batches_work_from_shared_memory(self, dataset, pool):
+        shared, blocks = share_dataset(dataset)
+        pool.adopt(blocks)
+        batches = list(shared.batches(16))
+        ref = list(dataset.batches(16))
+        assert len(batches) == len(ref)
+        for (xb, yb), (xr, yr) in zip(batches, ref):
+            np.testing.assert_array_equal(xb, xr)
+            np.testing.assert_array_equal(yb, yr)
+
+    def test_pool_close_unlinks_and_is_idempotent(self, dataset):
+        shared, blocks = share_dataset(dataset)
+        pool = SharedMemoryPool()
+        pool.adopt(blocks)
+        name = blocks[0].name
+        pool.close()
+        pool.close()  # idempotent
+        assert pool.n_blocks == 0
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestFallback:
+    def test_unavailable_shared_memory_passes_through(self, dataset, monkeypatch):
+        monkeypatch.setattr(shm_mod, "HAVE_SHARED_MEMORY", False)
+        shared, blocks = share_dataset(dataset)
+        assert shared is dataset
+        assert blocks == []
+
+    def test_creation_failure_passes_through(self, dataset, monkeypatch):
+        class Broken:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(shm_mod.shared_memory, "SharedMemory", Broken)
+        shared, blocks = share_dataset(dataset)
+        assert shared is dataset
+        assert blocks == []
+
+
+class TestShareClients:
+    def test_clients_rebound_to_shared_datasets(self, tiny_clients):
+        shared, pool = share_clients(tiny_clients)
+        try:
+            assert len(shared) == len(tiny_clients)
+            assert pool.n_blocks == 2 * len(tiny_clients)
+            for orig, clone in zip(tiny_clients, shared):
+                assert clone.client_id == orig.client_id
+                assert isinstance(clone.dataset, SharedArrayDataset)
+                # Originals keep their heap-backed datasets untouched.
+                assert type(orig.dataset) is ArrayDataset
+                np.testing.assert_array_equal(clone.dataset.x, orig.dataset.x)
+        finally:
+            pool.close()
+
+
+class TestProcessExecutorIntegration:
+    def test_process_executor_owns_shared_blocks(
+        self, tiny_clients, tiny_model_factory
+    ):
+        from repro.runtime.executor import ProcessExecutor
+
+        executor = ProcessExecutor(tiny_clients, tiny_model_factory, workers=2)
+        try:
+            assert executor._shm_pool.n_blocks == 2 * len(tiny_clients)
+        finally:
+            executor.close()
+        assert executor._shm_pool.n_blocks == 0
