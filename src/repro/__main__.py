@@ -10,6 +10,9 @@ Examples::
         --straggler-fraction 0.2 --deadline 5 --deadline-policy drop
     python -m repro --method fedavg --aggregation fedbuff --buffer-size 5 \
         --latency-model lognormal --straggler-fraction 0.3
+    python -m repro --method fedavg --latency-model lognormal \
+        --availability markov --offline-fraction 0.2 --churn-rate 0.5 \
+        --dropout-prob 0.1 --completeness 0.5
     python -m repro --list            # show the valid grid values
 """
 
@@ -22,9 +25,11 @@ import sys
 from repro.harness.config import (
     SCALES,
     VALID_AGGREGATIONS,
+    VALID_AVAILABILITY,
     VALID_BACKENDS,
     VALID_DATASETS,
     VALID_DEADLINE_POLICIES,
+    VALID_DISPATCH,
     VALID_DTYPES,
     VALID_LATENCY_MODELS,
     VALID_METHODS,
@@ -33,6 +38,18 @@ from repro.harness.config import (
     ExperimentConfig,
 )
 from repro.harness.runner import run_experiment
+
+
+def _server_mix(value: str):
+    """--server-mix accepts a float step or the literal 'delta'."""
+    if value == "delta":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a float in (0, 1] or 'delta', got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,9 +105,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--staleness", default="polynomial",
                         choices=VALID_STALENESS,
                         help="async staleness-decay on impact factors")
-    parser.add_argument("--server-mix", type=float, default=None,
-                        help="async server mixing step in (0, 1] "
+    parser.add_argument("--server-mix", type=_server_mix, default=None,
+                        help="async server mixing step in (0, 1], or 'delta' "
+                             "for FedBuff's delta-based update "
                              "(default: 1.0 fedbuff / 0.6 fedasync)")
+    parser.add_argument("--availability", default="always",
+                        choices=VALID_AVAILABILITY,
+                        help="fleet availability model: who is online as "
+                             "simulated time advances (needs --latency-model)")
+    parser.add_argument("--offline-fraction", type=float, default=0.2,
+                        help="mean offline fraction for the availability model")
+    parser.add_argument("--churn-rate", type=float, default=0.5,
+                        help="markov availability: on/off switching intensity "
+                             "(mean session length ~ 1/rate slots)")
+    parser.add_argument("--dropout-prob", type=float, default=0.0,
+                        help="per-(round, client) mid-round dropout: the "
+                             "update is lost after its compute time is paid")
+    parser.add_argument("--completeness", type=float, default=1.0,
+                        help="minimum fraction of the local batch budget a "
+                             "client runs (sampled per round from [c, 1])")
+    parser.add_argument("--dispatch", default="random", choices=VALID_DISPATCH,
+                        help="async job dispatch among online idle clients: "
+                             "uniform, or fairness (fewest jobs first)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable result")
     parser.add_argument("--list", action="store_true",
@@ -106,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"methods:    {', '.join(VALID_METHODS)}")
         print(f"scales:     {', '.join(sorted(SCALES))}")
         print(f"dtypes:     {', '.join(VALID_DTYPES)}")
+        print(f"availability: {', '.join(VALID_AVAILABILITY)}")
         return 0
 
     try:
@@ -133,6 +170,12 @@ def main(argv: list[str] | None = None) -> int:
             max_concurrency=args.max_concurrency,
             staleness=args.staleness,
             server_mix=args.server_mix,
+            availability=args.availability,
+            offline_fraction=args.offline_fraction,
+            churn_rate=args.churn_rate,
+            dropout_prob=args.dropout_prob,
+            completeness=args.completeness,
+            dispatch=args.dispatch,
         )
     except ValueError as err:
         # Cross-flag constraints (K <= N, drop needs a deadline, ...) live
@@ -174,6 +217,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  async:               {result.extra['aggregations']} "
                   f"aggregations over {result.extra['arrivals']} arrivals, "
                   f"mean staleness {result.extra['mean_staleness']:.2f}")
+        if result.extra and "availability" in result.extra:
+            online = result.extra.get("mean_online")
+            online_s = f", mean online {online:.1f}" if online is not None else ""
+            print(f"  fleet:               {result.extra['availability']} "
+                  f"availability, "
+                  f"{result.extra['connectivity_dropped']} updates lost to "
+                  f"dropout, mean work fraction "
+                  f"{result.extra['mean_work_fraction']:.2f}{online_s}")
         if result.history is not None:
             tail = result.history.accuracy_series()[-3:]
             series = "  ".join(f"r{r}:{v:.3f}" for r, v in tail)

@@ -65,26 +65,40 @@ def collect_worker_experience(
     n_workers: int,
     rounds_per_worker: int,
     seed: int = 0,
+    executor=None,
 ) -> tuple[ReplayBuffer, list[WorkerResult]]:
     """Stage 1: run ``n_workers`` online workers and merge their buffers.
 
     ``env_factory(worker_id)`` must return an independent environment per
     worker; each worker gets its own seeded RNG so the initially identical
     agents diverge through exploration, as the paper describes.
+
+    ``executor`` (a :class:`repro.runtime.executor.Executor`) dispatches
+    the workers through its ``map_tasks`` side-channel so they roll out in
+    parallel.  Workers share nothing — each builds its own environment and
+    agent from its own seed — and buffers merge in worker-id order, so the
+    pooled experience is bit-identical to the sequential default.
     """
     if n_workers <= 0:
         raise ValueError("n_workers must be positive")
-    merged = ReplayBuffer(config.buffer_capacity)
-    results: list[WorkerResult] = []
-    for w in range(n_workers):
-        env = env_factory(w)
+
+    def run_one(worker_id: int) -> WorkerResult:
+        env = env_factory(worker_id)
         agent = DDPGAgent(
-            env.state_dim, env.n_clients, config, rng=np.random.default_rng(seed + 1000 * w)
+            env.state_dim, env.n_clients, config,
+            rng=np.random.default_rng(seed + 1000 * worker_id),
         )
         result = run_worker(env, agent, rounds_per_worker)
-        result.worker_id = w
+        result.worker_id = worker_id
+        return result
+
+    if executor is None:
+        results = [run_one(w) for w in range(n_workers)]
+    else:
+        results = executor.map_tasks(run_one, list(range(n_workers)))
+    merged = ReplayBuffer(config.buffer_capacity)
+    for result in results:
         merged.merge(result.buffer)
-        results.append(result)
     return merged, results
 
 
@@ -127,18 +141,21 @@ class TwoStageTrainer:
         config: DRLConfig | None = None,
         n_workers: int = 2,
         seed: int = 0,
+        executor=None,
     ) -> None:
         self.env_factory = env_factory
         self.config = config or DRLConfig()
         self.n_workers = n_workers
         self.seed = seed
+        self.executor = executor
         self.worker_results: list[WorkerResult] = []
         self.merged_buffer: ReplayBuffer | None = None
 
     def train(self, rounds_per_worker: int, offline_updates: int) -> DDPGAgent:
         """Run stage 1 then stage 2; return the offline-trained main agent."""
         merged, results = collect_worker_experience(
-            self.env_factory, self.config, self.n_workers, rounds_per_worker, self.seed
+            self.env_factory, self.config, self.n_workers, rounds_per_worker,
+            self.seed, executor=self.executor,
         )
         self.worker_results = results
         self.merged_buffer = merged

@@ -10,6 +10,8 @@ reference upper bound used throughout the paper's tables.
 
 from repro.fl.async_ import (
     AGGREGATION_MODES,
+    DELTA_MIX,
+    DISPATCH_POLICIES,
     AsyncFederatedServer,
     ConstantStaleness,
     EventQueue,
@@ -51,6 +53,8 @@ from repro.fl.timing import Timer, measure_server_overhead
 
 __all__ = [
     "AGGREGATION_MODES",
+    "DELTA_MIX",
+    "DISPATCH_POLICIES",
     "AsyncFederatedServer",
     "Client",
     "ClientUpdate",

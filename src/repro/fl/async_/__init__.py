@@ -17,6 +17,8 @@ execution backends, exactly like synchronous rounds.
 from repro.fl.async_.events import ArrivalEvent, ClientJob, EventQueue
 from repro.fl.async_.server import (
     AGGREGATION_MODES,
+    DELTA_MIX,
+    DISPATCH_POLICIES,
     AsyncFederatedServer,
 )
 from repro.fl.async_.staleness import (
@@ -30,6 +32,8 @@ from repro.fl.async_.staleness import (
 
 __all__ = [
     "AGGREGATION_MODES",
+    "DELTA_MIX",
+    "DISPATCH_POLICIES",
     "STALENESS_POLICIES",
     "ArrivalEvent",
     "AsyncFederatedServer",

@@ -31,6 +31,10 @@ class ClientJob:
     duration_s: float
     model_version: int    # aggregation count when the job was dispatched
     global_weights: np.ndarray = field(repr=False, compare=False, hash=False)
+    # Local batch budget for the job: the full epochs*ceil(n/B) count, or a
+    # smaller fleet-completeness sample (0 = legacy "unspecified": the
+    # worker derives the full budget from the round context).
+    n_batches: int = 0
 
     @property
     def arrival_time_s(self) -> float:

@@ -46,18 +46,30 @@ from repro.fl.async_.staleness import PolynomialStaleness, StalenessWeighting
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.simulation import EventRecord, FLConfig, History, RoundRecord
 from repro.fl.strategies.base import Strategy, combine_updates
+from repro.fleet.simulator import FleetSimulator
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
 from repro.runtime.clock import VirtualClock, n_local_batches
 from repro.runtime.executor import Executor, RoundContext, SerialExecutor
 
 AGGREGATION_MODES = ("fedbuff", "fedasync")
+# How free concurrency slots are assigned to idle online clients:
+# "random" — uniform choice (the historical behavior); "fairness" — the
+# client with the fewest dispatched jobs goes first, so fast devices no
+# longer collect proportionally more jobs just by finishing sooner.
+DISPATCH_POLICIES = ("random", "fairness")
 
 # Default server mixing steps: FedBuff replaces the global model with the
 # buffered combination (the buffer already averages M models); FedAsync
 # mixes a single — often stale — client model conservatively (the
 # literature's alpha ~ 0.6).
 _DEFAULT_MIX = {"fedbuff": 1.0, "fedasync": 0.6}
+# server_mix="delta": FedBuff's original update form — the global model
+# moves by the weighted mean client *delta* (w_trained - w_dispatched)
+# instead of toward the weighted mean client model, so a stale update
+# contributes its own progress rather than dragging the model toward the
+# old weights it started from.
+DELTA_MIX = "delta"
 
 
 class AsyncFederatedServer:
@@ -76,7 +88,9 @@ class AsyncFederatedServer:
         buffer_size: int = 5,
         max_concurrency: int | None = None,
         staleness: StalenessWeighting | None = None,
-        server_mix: float | None = None,
+        server_mix: float | str | None = None,
+        fleet: FleetSimulator | None = None,
+        dispatch: str = "random",
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -98,10 +112,22 @@ class AsyncFederatedServer:
                 f"max_concurrency={max_concurrency} exceeds population "
                 f"{len(clients)} (a client holds at most one job at a time)"
             )
-        if server_mix is None:
+        self.delta_mix = isinstance(server_mix, str)
+        if self.delta_mix:
+            if server_mix != DELTA_MIX:
+                raise ValueError(
+                    f"server_mix must be a float in (0, 1] or {DELTA_MIX!r}, "
+                    f"got {server_mix!r}"
+                )
+            server_mix = 1.0  # the delta step's learning rate eta
+        elif server_mix is None:
             server_mix = _DEFAULT_MIX[mode]
         if not 0.0 < server_mix <= 1.0:
             raise ValueError("server_mix must be in (0, 1]")
+        if dispatch not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_POLICIES}, got {dispatch!r}"
+            )
 
         self.clients = clients
         self.test_set = test_set
@@ -121,17 +147,35 @@ class AsyncFederatedServer:
         if executor is None:
             executor = SerialExecutor(clients, model_factory, model=self.model)
         self.executor = executor
+        self.fleet = fleet
+        self.dispatch = dispatch
         # Dispatch choices are consumed strictly in event order, so one
         # sequential stream is deterministic under every backend.
         self._dispatch_rng = np.random.default_rng(config.seed + 29)
+        # Per-client dispatched-job counts, driving the fairness policy.
+        self.jobs_dispatched = {c.client_id: 0 for c in clients}
         self.history = History()
         self.discarded_updates = 0
+        # Arrivals whose upload was lost to fleet connectivity dropout.
+        self.dropped_arrivals = 0
         self._loss = SoftmaxCrossEntropy()
 
     # -- dispatch -----------------------------------------------------------
-    def _pick_client(self, idle: set[int]) -> int:
-        """Uniform choice among idle clients (sorted for determinism)."""
+    def _pick_client(self, idle: set[int], now: float) -> int | None:
+        """One idle client to dispatch to, or None when nobody is reachable.
+
+        With a fleet attached the candidate pool is the *online* idle
+        clients; the fairness policy hands the slot to the candidate with
+        the fewest dispatched jobs (ties by id) instead of a uniform draw,
+        so slow-but-reachable devices keep getting work.
+        """
         pool = sorted(idle)
+        if self.fleet is not None:
+            pool = self.fleet.online_ids(now, pool)
+            if not pool:
+                return None
+        if self.dispatch == "fairness":
+            return min(pool, key=lambda cid: (self.jobs_dispatched[cid], cid))
         return int(pool[self._dispatch_rng.integers(len(pool))])
 
     def _dispatch_until_full(
@@ -143,13 +187,22 @@ class AsyncFederatedServer:
         in_flight: dict[int, ClientJob],
         next_job: int,
     ) -> int:
-        """Fill free concurrency slots with jobs against the current model."""
+        """Fill free concurrency slots with jobs against the current model.
+
+        Only *online* clients receive jobs; when every idle client is
+        offline the slots stay open and are retried at the next arrival
+        (or, if nothing is in flight, after a clock wait in ``run``).
+        """
         cfg = self.config
         while next_job < self.total_jobs and len(in_flight) < self.max_concurrency and idle:
-            cid = self._pick_client(idle)
+            cid = self._pick_client(idle, now)
+            if cid is None:
+                break
             batches = n_local_batches(
                 self.clients[cid].n_samples, cfg.local_epochs, cfg.batch_size
             )
+            if self.fleet is not None:
+                batches = self.fleet.batch_budget(next_job, cid, batches)
             job = ClientJob(
                 job_idx=next_job,
                 client_id=cid,
@@ -157,12 +210,26 @@ class AsyncFederatedServer:
                 duration_s=self.clock.client_time(next_job, cid, batches),
                 model_version=version,
                 global_weights=self.global_weights,
+                n_batches=batches,
             )
             queue.push(job)
             in_flight[job.job_idx] = job
             idle.discard(cid)
+            self.jobs_dispatched[cid] += 1
             next_job += 1
         return next_job
+
+    def _wait_for_fleet(self, now: float) -> float:
+        """Advance simulated time until some client is online again.
+
+        Only reachable with a fleet attached (without one, dispatch never
+        declines a slot while budget remains).  The wait is counted on the
+        virtual clock only through subsequent dispatch/arrival times.
+        """
+        if self.fleet is None:  # pragma: no cover - defensive
+            return now
+        new_t, _ = self.fleet.wait_for_online(now, min_count=1)
+        return max(now, new_t)
 
     # -- lazy batched training ---------------------------------------------
     def _materialize(
@@ -178,6 +245,9 @@ class AsyncFederatedServer:
                 j for j in in_flight.values()
                 if j.model_version == job.model_version and j.job_idx not in computed
             ]
+            client_batches = None
+            if self.fleet is not None:
+                client_batches = {j.client_id: j.n_batches for j in group}
             ctx = RoundContext(
                 round_idx=job.job_idx,
                 global_weights=job.global_weights,
@@ -187,6 +257,7 @@ class AsyncFederatedServer:
                 base_seed=self.config.seed,
                 client_kwargs=self.strategy.client_kwargs(),
                 job_rounds={j.client_id: j.job_idx for j in group},
+                client_batches=client_batches,
             )
             updates = self.executor.run_round(ctx, [j.client_id for j in group])
             for j, update in zip(group, updates):
@@ -196,27 +267,40 @@ class AsyncFederatedServer:
     # -- aggregation --------------------------------------------------------
     def _aggregate(
         self,
-        buffer: list[tuple[ClientUpdate, int, float]],
+        buffer: list[tuple[ClientJob, ClientUpdate, int, float]],
         agg_idx: int,
         now: float,
         last_agg_t: float,
     ) -> RoundRecord:
         """One buffer flush: staleness-composed impact factors, eq. (4),
         and a staleness-scaled server mixing step."""
-        updates = [u for u, _, _ in buffer]
-        stalenesses = [s for _, s, _ in buffer]
-        factors = np.array([f for _, _, f in buffer])
+        updates = [u for _, u, _, _ in buffer]
+        stalenesses = [s for _, _, s, _ in buffer]
+        factors = np.array([f for _, _, _, f in buffer])
 
         t0 = time.perf_counter()
         base = np.asarray(self.strategy.impact_factors(updates, agg_idx), dtype=float)
         t1 = time.perf_counter()
         alphas = base * factors
-        combined = combine_updates(updates, alphas, normalize=True)
-        # FedAsync's adaptive alpha, generalized: the global model moves by
+        # FedAsync's adaptive alpha, generalized: the step size is
         # server_mix scaled with the buffer's average staleness factor
         # (base sums to 1, so the weighted mean is just alphas.sum()).
         mix = min(1.0, self.server_mix * float(alphas.sum()))
-        self.global_weights = (1.0 - mix) * self.global_weights + mix * combined
+        if self.delta_mix:
+            # FedBuff's delta form: w <- w + eta * sum_i a_i (w_i - w_i^0),
+            # where w_i^0 is the model version the job was dispatched
+            # against.  Staleness decays the step through `mix` and the
+            # normalized per-update weights.
+            normalized = np.asarray(alphas, dtype=float)
+            normalized = normalized / normalized.sum()
+            deltas = np.stack([
+                u.weights - job.global_weights for job, u, _, _ in buffer
+            ])
+            combined_delta = normalized.astype(deltas.dtype, copy=False) @ deltas
+            self.global_weights = self.global_weights + mix * combined_delta
+        else:
+            combined = combine_updates(updates, alphas, normalize=True)
+            self.global_weights = (1.0 - mix) * self.global_weights + mix * combined
         t2 = time.perf_counter()
         self.strategy.on_round_end(updates, agg_idx)
 
@@ -254,17 +338,39 @@ class AsyncFederatedServer:
         idle = {c.client_id for c in self.clients}
         in_flight: dict[int, ClientJob] = {}
         computed: dict[int, ClientUpdate] = {}
-        buffer: list[tuple[ClientUpdate, int, float]] = []
+        buffer: list[tuple[ClientJob, ClientUpdate, int, float]] = []
         version = 0
         last_agg_t = 0.0
         now = 0.0
         next_job = self._dispatch_until_full(0.0, version, queue, idle, in_flight, 0)
 
-        while queue:
+        while queue or next_job < self.total_jobs:
+            if not queue:
+                # Budget remains but every idle client was offline at the
+                # last dispatch point: wait (advance simulated time) until
+                # someone churns back online, then re-enqueue work.
+                now = self._wait_for_fleet(now)
+                next_job = self._dispatch_until_full(
+                    now, version, queue, idle, in_flight, next_job
+                )
+                if not queue:
+                    break  # pathological availability; give up cleanly
+                continue
             event = queue.pop()
             now = event.time_s
             job = event.job
-            update = self._materialize(job, in_flight, computed)
+            # Connectivity: the job finished (its time was paid) but its
+            # upload may be lost mid-round; a lost update is never
+            # materialized (unless an earlier group trained it) or buffered.
+            dropped = self.fleet is not None and self.fleet.drops(
+                job.job_idx, job.client_id
+            )
+            if dropped:
+                update = None
+                computed.pop(job.job_idx, None)
+                self.dropped_arrivals += 1
+            else:
+                update = self._materialize(job, in_flight, computed)
             del in_flight[job.job_idx]
             idle.add(job.client_id)
 
@@ -279,8 +385,10 @@ class AsyncFederatedServer:
                 arrival_version=version,
                 staleness=staleness,
                 staleness_factor=factor,
+                dropped=dropped,
             ))
-            buffer.append((update, staleness, factor))
+            if not dropped:
+                buffer.append((job, update, staleness, factor))
 
             if len(buffer) >= self.flush_size:
                 self._aggregate(buffer, version, now, last_agg_t)

@@ -23,6 +23,7 @@ from repro.nn.dtypes import get_default_dtype
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD, ProximalSGD
+from repro.runtime.clock import n_local_batches
 
 
 @dataclass
@@ -84,6 +85,7 @@ class Client:
         loss: Loss | None = None,
         rng: np.random.Generator | None = None,
         forward_rng: np.random.Generator | None = None,
+        max_batches: int | None = None,
     ) -> ClientUpdate:
         """Run E local epochs starting from ``global_weights``; see module doc.
 
@@ -94,9 +96,17 @@ class Client:
         results do not depend on the order clients execute in (falls back
         to the client's / layers' own stateful generators for
         direct/legacy callers).
+
+        ``max_batches`` caps the total number of gradient steps across all
+        epochs (the fleet simulator's *completeness* axis: a device may
+        only get through part of its budget before the round ends).  A
+        truncated run reports a proportionally scaled ``n_samples`` so
+        size-weighted aggregation sees the work actually done.
         """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
+        if max_batches is not None and max_batches <= 0:
+            raise ValueError("max_batches must be positive when given")
         rng = rng if rng is not None else self.rng
         loss = loss if loss is not None else SoftmaxCrossEntropy()
         model.set_flat_weights(global_weights)
@@ -114,19 +124,32 @@ class Client:
         else:
             optimizer = SGD(model, lr=lr)
 
+        # The same budget formula the dispatchers time against (one source
+        # of truth for "how much work is a full round").
+        full_batches = n_local_batches(self.n_samples, epochs, batch_size)
+        budget = full_batches if max_batches is None else min(max_batches, full_batches)
+        steps = 0
         for _ in range(epochs):
+            if steps >= budget:
+                break
             for xb, yb in self.dataset.batches(batch_size, rng=rng):
                 model.zero_grad()
                 model.train_batch(loss, xb, yb)
                 optimizer.step()
+                steps += 1
+                if steps >= budget:
+                    break
 
+        n_effective = self.n_samples
+        if budget < full_batches:
+            n_effective = max(1, int(round(self.n_samples * budget / full_batches)))
         loss_after = evaluate_loss(model, loss, self.dataset.x, self.dataset.y)
         return ClientUpdate(
             client_id=self.client_id,
             weights=model.get_flat_weights(),
             loss_before=loss_before,
             loss_after=loss_after,
-            n_samples=self.n_samples,
+            n_samples=n_effective,
         )
 
     def evaluate_global(

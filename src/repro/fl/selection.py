@@ -6,12 +6,25 @@ pluggable into :class:`~repro.fl.simulation.FederatedSimulation` so the
 two approach families can be compared under identical conditions, and
 combined (FedDRL aggregation + informed selection).
 
-Each selector returns K distinct client ids for the round.
+Each selector returns K distinct client ids for the round.  When a fleet
+simulator is attached, the simulation passes the *available* (online)
+client ids; selectors must pick only from that pool — round-robin, for
+instance, skips offline clients instead of stalling on them.  With
+``available=None`` (no fleet) every client is a candidate and behavior is
+bit-identical to the historical selectors.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def _candidate_pool(n_clients: int, k: int, available: list[int] | None) -> np.ndarray:
+    """The round's candidate ids, validated against K."""
+    pool = np.arange(n_clients) if available is None else np.asarray(sorted(available))
+    if k > pool.size:
+        raise ValueError("cannot select more clients than are available")
+    return pool
 
 
 class UniformSelection:
@@ -20,26 +33,50 @@ class UniformSelection:
     def __init__(self, rng: np.random.Generator) -> None:
         self.rng = rng
 
-    def select(self, n_clients: int, k: int, round_idx: int) -> list[int]:
-        if k > n_clients:
-            raise ValueError("cannot select more clients than exist")
-        return list(self.rng.choice(n_clients, k, replace=False))
+    def select(
+        self, n_clients: int, k: int, round_idx: int,
+        available: list[int] | None = None,
+    ) -> list[int]:
+        pool = _candidate_pool(n_clients, k, available)
+        if available is None:
+            # Keep the historical draw (choice on an int) bit-identical.
+            return list(self.rng.choice(n_clients, k, replace=False))
+        return [int(c) for c in self.rng.choice(pool, k, replace=False)]
 
     def observe(self, client_ids: list[int], losses: np.ndarray) -> None:
         """Selectors may learn from the round's outcome; uniform ignores it."""
 
 
 class RoundRobinSelection:
-    """Deterministic fairness baseline: cycle through all clients."""
+    """Deterministic fairness baseline: cycle through all clients.
+
+    With an availability pool the cursor still walks the full ring in id
+    order but *skips* offline clients, so an offline stretch never stalls
+    the rotation — the skipped clients simply get their turn once they
+    come back online.
+    """
 
     def __init__(self) -> None:
         self._cursor = 0
 
-    def select(self, n_clients: int, k: int, round_idx: int) -> list[int]:
-        if k > n_clients:
-            raise ValueError("cannot select more clients than exist")
-        picked = [(self._cursor + i) % n_clients for i in range(k)]
-        self._cursor = (self._cursor + k) % n_clients
+    def select(
+        self, n_clients: int, k: int, round_idx: int,
+        available: list[int] | None = None,
+    ) -> list[int]:
+        pool = _candidate_pool(n_clients, k, available)
+        if available is None:
+            picked = [(self._cursor + i) % n_clients for i in range(k)]
+            self._cursor = (self._cursor + k) % n_clients
+            return picked
+        online = set(int(c) for c in pool)
+        picked: list[int] = []
+        offset = 0
+        while len(picked) < k and offset < n_clients:
+            cid = (self._cursor + offset) % n_clients
+            if cid in online:
+                picked.append(cid)
+            offset += 1
+        self._cursor = (self._cursor + offset) % n_clients
         return picked
 
     def observe(self, client_ids: list[int], losses: np.ndarray) -> None:
@@ -49,10 +86,11 @@ class RoundRobinSelection:
 class PowerOfChoiceSelection:
     """Loss-biased selection after Cho et al. [3] (power-of-choice).
 
-    Sample a candidate set of size ``d >= k`` uniformly, then keep the k
-    candidates with the highest last-known loss — steering computation
-    toward under-served clients.  Unknown clients default to +inf loss so
-    everyone is visited at least once.
+    Sample a candidate set of size ``d >= k`` uniformly (from the
+    available pool), then keep the k candidates with the highest
+    last-known loss — steering computation toward under-served clients.
+    Unknown clients default to +inf loss so everyone is visited at least
+    once.
     """
 
     def __init__(self, rng: np.random.Generator, candidate_factor: int = 2) -> None:
@@ -62,11 +100,16 @@ class PowerOfChoiceSelection:
         self.candidate_factor = candidate_factor
         self._last_loss: dict[int, float] = {}
 
-    def select(self, n_clients: int, k: int, round_idx: int) -> list[int]:
-        if k > n_clients:
-            raise ValueError("cannot select more clients than exist")
-        d = min(n_clients, self.candidate_factor * k)
-        candidates = self.rng.choice(n_clients, d, replace=False)
+    def select(
+        self, n_clients: int, k: int, round_idx: int,
+        available: list[int] | None = None,
+    ) -> list[int]:
+        pool = _candidate_pool(n_clients, k, available)
+        d = min(pool.size, self.candidate_factor * k)
+        if available is None:
+            candidates = self.rng.choice(n_clients, d, replace=False)
+        else:
+            candidates = self.rng.choice(pool, d, replace=False)
         losses = np.array([
             self._last_loss.get(int(c), np.inf) for c in candidates
         ])

@@ -13,6 +13,13 @@ thanks to ``(round, client)``-keyed batch RNGs), and an optional
 :class:`~repro.runtime.clock.VirtualClock` overlays simulated device
 latency: per-round makespans are recorded alongside the real timings, and
 a ``drop``-policy deadline excludes straggler updates from aggregation.
+
+An optional :class:`~repro.fleet.FleetSimulator` adds *dynamic* fleet
+behavior on top: the selection pool is filtered to clients online at the
+round's simulated start (the server waits, advancing the clock, if nobody
+is), selected clients may run only part of their local batch budget, and
+a client's finished update may drop mid-round — its compute time still
+counts toward the makespan, but the update never reaches aggregation.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import numpy as np
 from repro.data.dataset import ArrayDataset
 from repro.fl.client import Client, ClientUpdate
 from repro.fl.strategies.base import Strategy, combine_updates
+from repro.fleet.simulator import FleetSimulator
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
 from repro.nn.model import Sequential
@@ -76,6 +84,15 @@ class RoundRecord:
     # staleness in model versions and the decay factor applied to each.
     staleness: list[int] = field(default_factory=list)
     staleness_factors: list[float] = field(default_factory=list)
+    # Fleet-simulator fields (None / empty when no fleet is attached):
+    # clients online at the round's simulated start, simulated seconds the
+    # server waited for an online client, updates lost to mid-round
+    # dropout (compute paid, upload lost), and each participant's sampled
+    # work fraction (1.0 = full local budget).
+    online_count: int | None = None
+    wait_s: float = 0.0
+    connectivity_dropped: list[int] = field(default_factory=list)
+    work_fractions: dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,6 +113,9 @@ class EventRecord:
     arrival_version: int
     staleness: int
     staleness_factor: float
+    # Fleet connectivity: the job finished but its upload was lost; it was
+    # never buffered or aggregated (compute time was still paid).
+    dropped: bool = False
 
 
 @dataclass
@@ -187,6 +207,33 @@ class History:
         """(arrival time, client id) per async event, in arrival order."""
         return [(e.arrival_time_s, e.client_id) for e in self.events]
 
+    # -- fleet-behavior views -------------------------------------------------
+    def online_series(self) -> list[tuple[int, int]]:
+        """(round, online count) pairs for fleet-simulated rounds."""
+        return [
+            (r.round_idx, r.online_count)
+            for r in self.records
+            if r.online_count is not None
+        ]
+
+    def mean_online(self) -> float:
+        """Average online-client count over fleet-simulated rounds."""
+        counts = [r.online_count for r in self.records if r.online_count is not None]
+        return float(np.mean(counts)) if counts else 0.0
+
+    def total_connectivity_dropped(self) -> int:
+        """Updates lost to fleet mid-round dropout: synchronous records'
+        drop lists plus asynchronous dropped arrivals."""
+        return sum(len(r.connectivity_dropped) for r in self.records) + sum(
+            1 for e in self.events if e.dropped
+        )
+
+    def mean_work_fraction(self) -> float:
+        """Average sampled completeness over all partial-work participants
+        (1.0 when the fleet never truncated anyone)."""
+        fractions = [f for r in self.records for f in r.work_fractions.values()]
+        return float(np.mean(fractions)) if fractions else 1.0
+
     def mean_staleness(self) -> float:
         """Average staleness (in model versions) over all async arrivals."""
         if not self.events:
@@ -207,6 +254,7 @@ class FederatedSimulation:
         selector=None,
         executor: Executor | None = None,
         clock: VirtualClock | None = None,
+        fleet: FleetSimulator | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -233,19 +281,63 @@ class FederatedSimulation:
             executor = SerialExecutor(clients, model_factory, model=self.model)
         self.executor = executor
         self.clock = clock
+        self.fleet = fleet
         self.history = History()
         self._loss = SoftmaxCrossEntropy()
 
     # -- one round ----------------------------------------------------------
-    def sample_participants(self, round_idx: int = 0) -> list[int]:
+    def sample_participants(
+        self, round_idx: int = 0, available: list[int] | None = None
+    ) -> list[int]:
         """Pick K distinct clients via the selection policy (Algorithm 2,
-        line 4 uses uniform sampling; see :mod:`repro.fl.selection`)."""
-        return self.selector.select(
-            len(self.clients), self.config.clients_per_round, round_idx
-        )
+        line 4 uses uniform sampling; see :mod:`repro.fl.selection`).
+
+        With a fleet attached, ``available`` is the online pool and K is
+        capped at its size — a smaller round beats stalling on devices
+        that cannot be reached.
+        """
+        k = self.config.clients_per_round
+        if available is not None:
+            k = min(k, len(available))
+        return self.selector.select(len(self.clients), k, round_idx, available=available)
+
+    def _fleet_pool(self, round_idx: int) -> tuple[list[int] | None, float, int | None]:
+        """(online pool, seconds waited for it, online count) for the round.
+
+        Availability is sampled at the round's simulated start time; if
+        nobody is online the server waits — slot by slot, advancing the
+        clock — until someone is.  Without a fleet the pool is ``None``
+        (every client, and the selectors' legacy code paths).
+        """
+        if self.fleet is None:
+            return None, 0.0, None
+        now = self.clock.elapsed_s if self.clock is not None else float(round_idx)
+        new_t, pool = self.fleet.wait_for_online(now, min_count=1)
+        wait_s = new_t - now
+        if wait_s > 0 and self.clock is not None:
+            self.clock.advance(wait_s)
+        return pool, wait_s, len(pool)
+
+    def _fleet_budgets(
+        self, round_idx: int, participants: list[int]
+    ) -> dict[int, int] | None:
+        """Per-client batch caps from the fleet's completeness draws."""
+        if self.fleet is None or self.fleet.completeness >= 1.0:
+            return None
+        cfg = self.config
+        return {
+            cid: self.fleet.batch_budget(
+                round_idx,
+                cid,
+                n_local_batches(self.clients[cid].n_samples, cfg.local_epochs,
+                                cfg.batch_size),
+            )
+            for cid in participants
+        }
 
     def collect_updates(
-        self, participants: list[int], round_idx: int
+        self, participants: list[int], round_idx: int,
+        client_batches: dict[int, int] | None = None,
     ) -> list[ClientUpdate]:
         """Broadcast + local training via the execution backend.
 
@@ -262,11 +354,16 @@ class FederatedSimulation:
             batch_size=cfg.batch_size,
             base_seed=cfg.seed,
             client_kwargs=self.strategy.client_kwargs(),
+            client_batches=client_batches,
         )
         return self.executor.run_round(ctx, participants)
 
     def _observe_clock(
-        self, round_idx: int, participants: list[int], updates: list[ClientUpdate]
+        self,
+        round_idx: int,
+        participants: list[int],
+        updates: list[ClientUpdate],
+        client_batches: dict[int, int] | None = None,
     ) -> tuple[list[ClientUpdate], float | None, list[int]]:
         """Apply the virtual clock: record makespan, enforce the deadline."""
         if self.clock is None:
@@ -278,18 +375,40 @@ class FederatedSimulation:
             )
             for cid in participants
         }
+        if client_batches:
+            batches.update(client_batches)
         timing = self.clock.observe_round(round_idx, participants, batches)
         if timing.dropped:
             dropped = set(timing.dropped)
             updates = [u for u in updates if u.client_id not in dropped]
         return updates, timing.makespan_s, timing.dropped
 
+    def _fleet_dropout(
+        self, round_idx: int, updates: list[ClientUpdate]
+    ) -> tuple[list[ClientUpdate], list[int]]:
+        """Mid-round connectivity loss: the update is discarded *after* its
+        compute time entered the makespan.  At least one update survives
+        (a real server would re-request rather than lose the round)."""
+        if self.fleet is None or self.fleet.dropout_prob <= 0.0:
+            return updates, []
+        dropped = [u.client_id for u in updates
+                   if self.fleet.drops(round_idx, u.client_id)]
+        if len(dropped) == len(updates):
+            dropped = dropped[1:]  # keep the first participant's update
+        if not dropped:
+            return updates, []
+        lost = set(dropped)
+        return [u for u in updates if u.client_id not in lost], dropped
+
     def run_round(self, round_idx: int) -> RoundRecord:
-        participants = self.sample_participants(round_idx)
-        updates = self.collect_updates(participants, round_idx)
+        pool, wait_s, online_count = self._fleet_pool(round_idx)
+        participants = self.sample_participants(round_idx, available=pool)
+        budgets = self._fleet_budgets(round_idx, participants)
+        updates = self.collect_updates(participants, round_idx, budgets)
         updates, sim_makespan, dropped = self._observe_clock(
-            round_idx, participants, updates
+            round_idx, participants, updates, budgets
         )
+        updates, conn_dropped = self._fleet_dropout(round_idx, updates)
         kept = [u.client_id for u in updates]
         self.selector.observe(
             kept, np.array([u.loss_before for u in updates])
@@ -302,6 +421,11 @@ class FederatedSimulation:
         t2 = time.perf_counter()
         self.strategy.on_round_end(updates, round_idx)
 
+        work_fractions = {}
+        if budgets is not None:
+            work_fractions = {
+                cid: self.fleet.work_fraction(round_idx, cid) for cid in participants
+            }
         record = RoundRecord(
             round_idx=round_idx,
             participants=kept,
@@ -311,8 +435,14 @@ class FederatedSimulation:
             client_sizes=np.array([u.n_samples for u in updates]),
             impact_time_s=t1 - t0,
             aggregation_time_s=t2 - t1,
-            sim_makespan_s=sim_makespan,
+            # The round's simulated cost includes any time the server spent
+            # waiting for an online client before it could even select.
+            sim_makespan_s=None if sim_makespan is None else sim_makespan + wait_s,
             dropped_clients=dropped,
+            online_count=online_count,
+            wait_s=wait_s,
+            connectivity_dropped=conn_dropped,
+            work_fractions=work_fractions,
         )
         if self.test_set is not None and (
             round_idx % self.config.eval_every == 0

@@ -1,0 +1,34 @@
+"""``repro.fleet`` — dynamic client behavior over the virtual clock.
+
+The runtime's :class:`~repro.runtime.clock.VirtualClock` makes devices
+*slow*; this package makes them *unreliable*: availability churn (clients
+going on- and offline as simulated time advances), mid-round dropout
+(updates lost after their compute time was paid), and partial local work
+(clients running a sampled fraction of their batch budget).  All behavior
+draws from dedicated ``(index, client)``-keyed seed streams, so fleet
+scenarios are bit-identical across every execution backend.
+"""
+
+from repro.fleet.availability import (
+    AVAILABILITY_MODELS,
+    AlwaysOn,
+    AvailabilityModel,
+    BernoulliAvailability,
+    LabelSkewAvailability,
+    MarkovAvailability,
+    SinusoidalAvailability,
+    get_availability_model,
+)
+from repro.fleet.simulator import FleetSimulator
+
+__all__ = [
+    "AVAILABILITY_MODELS",
+    "AlwaysOn",
+    "AvailabilityModel",
+    "BernoulliAvailability",
+    "FleetSimulator",
+    "LabelSkewAvailability",
+    "MarkovAvailability",
+    "SinusoidalAvailability",
+    "get_availability_model",
+]

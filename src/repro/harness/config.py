@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.fl.async_ import AGGREGATION_MODES, STALENESS_POLICIES
+from repro.fl.async_ import (
+    AGGREGATION_MODES,
+    DELTA_MIX,
+    DISPATCH_POLICIES,
+    STALENESS_POLICIES,
+)
+from repro.fleet import AVAILABILITY_MODELS
 from repro.nn.dtypes import SUPPORTED_DTYPES
 from repro.runtime import BACKENDS, DEADLINE_POLICIES, LATENCY_MODELS
 
@@ -33,6 +39,10 @@ VALID_DEADLINE_POLICIES = DEADLINE_POLICIES
 # buffered (fedbuff) / per-arrival (fedasync) modes (repro.fl.async_).
 VALID_AGGREGATIONS = ("sync", *AGGREGATION_MODES)
 VALID_STALENESS = STALENESS_POLICIES
+# Fleet-behavior vocabularies (repro.fleet): availability models and the
+# async engine's dispatch policies.
+VALID_AVAILABILITY = AVAILABILITY_MODELS
+VALID_DISPATCH = DISPATCH_POLICIES
 
 
 @dataclass(frozen=True)
@@ -131,7 +141,21 @@ class ExperimentConfig:
     buffer_size: int = 5
     max_concurrency: int | None = None  # None -> clients_per_round
     staleness: str = "polynomial"
-    server_mix: float | None = None  # None -> 1.0 fedbuff / 0.6 fedasync
+    # Server mixing step: a float in (0, 1], "delta" for FedBuff's
+    # delta-based update (w <- w + eta * mean of client deltas), or None
+    # for the mode default (1.0 fedbuff / 0.6 fedasync).
+    server_mix: float | str | None = None
+    # Fleet behavior (repro.fleet): dynamic availability churn, mid-round
+    # connectivity dropout, and partial local work.  "always" + zero
+    # dropout + completeness 1.0 disables the fleet entirely; anything
+    # else needs a latency_model (fleet behavior evolves over the virtual
+    # clock).  `dispatch` picks the async engine's slot-assignment policy.
+    availability: str = "always"
+    offline_fraction: float = 0.2
+    churn_rate: float = 0.5
+    dropout_prob: float = 0.0
+    completeness: float = 1.0
+    dispatch: str = "random"
 
     def __post_init__(self) -> None:
         if self.dataset not in VALID_DATASETS:
@@ -196,8 +220,14 @@ class ExperimentConfig:
             raise ValueError("buffer_size must be positive")
         if self.max_concurrency is not None and self.max_concurrency <= 0:
             raise ValueError("max_concurrency must be positive when given")
-        if self.server_mix is not None and not 0.0 < self.server_mix <= 1.0:
+        if isinstance(self.server_mix, str):
+            if self.server_mix != DELTA_MIX:
+                raise ValueError(
+                    f"server_mix must be a float in (0, 1] or {DELTA_MIX!r}"
+                )
+        elif self.server_mix is not None and not 0.0 < self.server_mix <= 1.0:
             raise ValueError("server_mix must be in (0, 1] when given")
+        self._validate_fleet()
         if self.aggregation != "sync":
             if self.method == "singleset":
                 raise ValueError(
@@ -234,7 +264,51 @@ class ExperimentConfig:
                     "holds at most one job at a time)"
                 )
 
+    def _validate_fleet(self) -> None:
+        if self.availability not in VALID_AVAILABILITY:
+            raise ValueError(f"availability must be one of {VALID_AVAILABILITY}")
+        if self.dispatch not in VALID_DISPATCH:
+            raise ValueError(f"dispatch must be one of {VALID_DISPATCH}")
+        if not 0.0 <= self.offline_fraction < 1.0:
+            raise ValueError("offline_fraction must be in [0, 1)")
+        if self.churn_rate <= 0.0:
+            raise ValueError("churn_rate must be positive")
+        if not 0.0 <= self.dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
+        if not 0.0 < self.completeness <= 1.0:
+            raise ValueError("completeness must be in (0, 1]")
+        if self.dispatch != "random" and self.aggregation == "sync":
+            raise ValueError(
+                "dispatch policies apply to the async engine only — "
+                "synchronous rounds select participants, they do not "
+                "dispatch jobs"
+            )
+        if not self.fleet_active:
+            return
+        if self.latency_model == "none":
+            raise ValueError(
+                "fleet behavior (availability/dropout/completeness) evolves "
+                "over the virtual clock — pick a latency_model, one of "
+                f"{tuple(m for m in VALID_LATENCY_MODELS if m != 'none')}"
+            )
+        if self.method == "feddrl" and self.aggregation == "sync":
+            raise ValueError(
+                "feddrl needs exactly K updates per synchronous round; an "
+                "unreliable fleet cannot guarantee that — use "
+                "aggregation='fedbuff' (the agent is built for "
+                "K=buffer_size and buffers fill from whoever arrives)"
+            )
+
     # -- resolved views ------------------------------------------------------
+    @property
+    def fleet_active(self) -> bool:
+        """True when any fleet-behavior axis departs from the ideal fleet."""
+        return (
+            self.availability != "always"
+            or self.dropout_prob > 0.0
+            or self.completeness < 1.0
+        )
+
     @property
     def preset(self) -> ScalePreset:
         return SCALES[self.scale]

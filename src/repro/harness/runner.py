@@ -16,10 +16,16 @@ from repro.fl.client import make_clients
 from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
 from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
+from repro.fleet import FleetSimulator, get_availability_model
 from repro.harness.config import ExperimentConfig
 from repro.nn.dtypes import default_dtype, set_default_dtype
 from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
-from repro.runtime import VirtualClock, get_latency_model, make_executor
+from repro.runtime import (
+    ThreadExecutor,
+    VirtualClock,
+    get_latency_model,
+    make_executor,
+)
 
 
 @dataclass
@@ -153,10 +159,22 @@ def pretrain_feddrl_agent(cfg: ExperimentConfig, drl_cfg):
             fairness_weight=cfg.fairness_weight, seed=wseed,
         )
 
-    trainer = TwoStageTrainer(
-        env_factory, drl_cfg, n_workers=cfg.drl_pretrain_workers, seed=cfg.seed
-    )
-    agent = trainer.train(cfg.drl_pretrain_rounds, cfg.drl_offline_updates)
+    # Worker rollouts are independent, so any pooled backend parallelizes
+    # them through the executor's map_tasks side-channel.  Env factories
+    # are closures (unpicklable), so the process backend also pretrains on
+    # threads — env steps are NumPy kernels that release the GIL.
+    executor = None
+    if cfg.backend != "serial":
+        executor = ThreadExecutor(workers=cfg.drl_pretrain_workers)
+    try:
+        trainer = TwoStageTrainer(
+            env_factory, drl_cfg, n_workers=cfg.drl_pretrain_workers,
+            seed=cfg.seed, executor=executor,
+        )
+        agent = trainer.train(cfg.drl_pretrain_rounds, cfg.drl_offline_updates)
+    finally:
+        if executor is not None:
+            executor.close()
     agent.noise_scale = min(agent.noise_scale, 0.05)
     return agent
 
@@ -180,6 +198,30 @@ def build_clock(cfg: ExperimentConfig) -> VirtualClock | None:
         policy=cfg.deadline_policy,
         straggler_fraction=cfg.straggler_fraction,
         straggler_slowdown=cfg.straggler_slowdown,
+    )
+
+
+def build_fleet(cfg: ExperimentConfig, clients) -> FleetSimulator | None:
+    """The fleet-behavior simulator, or None for an ideal fleet."""
+    if not cfg.fleet_active:
+        return None
+    labels = None
+    if cfg.availability == "label_skew":
+        labels = [c.dataset.y for c in clients]
+    model = get_availability_model(
+        cfg.availability,
+        n_clients=cfg.n_clients,
+        seed=cfg.seed + 31,
+        offline_fraction=cfg.offline_fraction,
+        churn_rate=cfg.churn_rate,
+        labels=labels,
+    )
+    return FleetSimulator(
+        cfg.n_clients,
+        model,
+        seed=cfg.seed + 31,
+        dropout_prob=cfg.dropout_prob,
+        completeness=cfg.completeness,
     )
 
 
@@ -217,6 +259,7 @@ def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation | AsyncFedera
     executor = None
     if cfg.backend != "serial":
         executor = build_executor(cfg, clients, model_factory)
+    fleet = build_fleet(cfg, clients)
     if cfg.aggregation != "sync":
         return AsyncFederatedServer(
             clients, test_set, model_factory, strategy, build_fl_config(cfg),
@@ -227,10 +270,12 @@ def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation | AsyncFedera
             max_concurrency=cfg.max_concurrency,
             staleness=get_staleness_weighting(cfg.staleness),
             server_mix=cfg.server_mix,
+            fleet=fleet,
+            dispatch=cfg.dispatch,
         )
     return FederatedSimulation(
         clients, test_set, model_factory, strategy, build_fl_config(cfg),
-        executor=executor, clock=build_clock(cfg),
+        executor=executor, clock=build_clock(cfg), fleet=fleet,
     )
 
 
@@ -287,6 +332,14 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
                 "mean_staleness": history.mean_staleness(),
                 "discarded_updates": sim.discarded_updates,
             })
+        if cfg.fleet_active:
+            extra.update({
+                "availability": cfg.availability,
+                "connectivity_dropped": history.total_connectivity_dropped(),
+                "mean_work_fraction": history.mean_work_fraction(),
+            })
+            if cfg.aggregation == "sync":
+                extra["mean_online"] = history.mean_online()
     return ExperimentResult(
         config=cfg,
         best_accuracy=history.best_accuracy(),

@@ -199,6 +199,13 @@ class VirtualClock:
         self.elapsed_s = 0.0
         self.timings: list[RoundTiming] = []
 
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time outside a round (e.g. the server waiting
+        for any client to come online under an availability model)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.elapsed_s += seconds
+
     def client_time(self, round_idx: int, client_id: int, n_batches: int) -> float:
         """Simulated seconds for one client's round, jitter included."""
         base = self.profiles[client_id].round_seconds(n_batches)

@@ -55,6 +55,10 @@ class RoundContext:
     but a batch of jobs sharing the same global weights still crosses the
     executor boundary as one round.  Synchronous rounds leave it ``None``
     and every participant seeds from ``round_idx``.
+
+    ``client_batches`` caps a client's total gradient steps for the round
+    (the fleet simulator's completeness axis); clients absent from the
+    mapping run their full ``epochs`` budget.
     """
 
     round_idx: int
@@ -65,6 +69,7 @@ class RoundContext:
     base_seed: int
     client_kwargs: dict = field(default_factory=dict)
     job_rounds: dict[int, int] | None = None
+    client_batches: dict[int, int] | None = None
 
 
 def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
@@ -82,6 +87,9 @@ def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
     forward_rng = client_round_rng(
         ctx.base_seed, seed_round, client.client_id, stream=STREAM_FORWARD
     )
+    max_batches = None
+    if ctx.client_batches is not None:
+        max_batches = ctx.client_batches.get(client.client_id)
     return client.local_train(
         model,
         ctx.global_weights,
@@ -91,6 +99,7 @@ def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
         loss=loss,
         rng=rng,
         forward_rng=forward_rng,
+        max_batches=max_batches,
         **ctx.client_kwargs,
     )
 
@@ -103,6 +112,16 @@ class Executor:
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
         """Train ``participants`` against ``ctx``; results in participant order."""
         raise NotImplementedError
+
+    def map_tasks(self, fn, items: list) -> list:
+        """Run an arbitrary task over ``items``, results in item order.
+
+        A generic side-channel for non-FL workloads that want the backend's
+        parallelism (DRL pretraining workers, environment rollouts).  The
+        base implementation is sequential; pooled backends override it.
+        The caller owns determinism: tasks must not share mutable state.
+        """
+        return [fn(item) for item in items]
 
     def close(self) -> None:
         """Release worker resources (idempotent)."""
@@ -143,26 +162,51 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
-    def __init__(self, clients: list[Client], model_factory, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        clients: list[Client] = (),
+        model_factory=None,
+        workers: int | None = None,
+    ) -> None:
         self.workers = max(1, workers or (os.cpu_count() or 1))
         self.clients = {c.client_id: c for c in clients}
+        self._model_factory = model_factory
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="fl-client"
         )
-        self._replicas: queue.SimpleQueue = queue.SimpleQueue()
-        for _ in range(self.workers):
-            self._replicas.put((model_factory(np.random.default_rng(0)), SoftmaxCrossEntropy()))
+        # Model replicas are built lazily on the first run_round, so a
+        # map_tasks-only executor (DRL pretraining) never pays for them.
+        self._replicas: queue.SimpleQueue | None = None
+
+    def _ensure_replicas(self) -> queue.SimpleQueue:
+        if self._replicas is None:
+            if self._model_factory is None:
+                raise ValueError(
+                    "this ThreadExecutor was built without a model_factory; "
+                    "it can only serve map_tasks, not run_round"
+                )
+            self._replicas = queue.SimpleQueue()
+            for _ in range(self.workers):
+                self._replicas.put(
+                    (self._model_factory(np.random.default_rng(0)), SoftmaxCrossEntropy())
+                )
+        return self._replicas
 
     def _run(self, cid: int, ctx: RoundContext) -> ClientUpdate:
-        model, loss = self._replicas.get()
+        replicas = self._replicas
+        model, loss = replicas.get()
         try:
             return _train_one(self.clients[cid], model, loss, ctx)
         finally:
-            self._replicas.put((model, loss))
+            replicas.put((model, loss))
 
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        self._ensure_replicas()
         futures = [self._pool.submit(self._run, cid, ctx) for cid in participants]
         return [f.result() for f in futures]
+
+    def map_tasks(self, fn, items: list) -> list:
+        return list(self._pool.map(fn, items))
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -225,6 +269,11 @@ class ProcessExecutor(Executor):
             for pos, update in f.result():
                 results[pos] = update
         return results  # type: ignore[return-value]
+
+    def map_tasks(self, fn, items: list) -> list:
+        # Tasks must be picklable; closures (e.g. env factories) are not —
+        # such callers should use the thread backend's map_tasks instead.
+        return list(self._pool.map(fn, items))
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

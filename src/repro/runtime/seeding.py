@@ -22,10 +22,16 @@ import numpy as np
 
 # Fixed per-purpose stream tags so independent consumers (batch shuffling
 # vs. simulated-latency jitter vs. forward-time randomness such as Dropout
-# masks) never share a stream for the same cell.
+# masks vs. the fleet simulator's behavioral draws) never share a stream
+# for the same cell.  Fleet streams key their first coordinate differently:
+# availability uses the *time slot*, dropout and completeness the round
+# (synchronous) or job (asynchronous) index.
 STREAM_BATCHES = 0
 STREAM_LATENCY = 1
 STREAM_FORWARD = 2
+STREAM_AVAILABILITY = 3
+STREAM_DROPOUT = 4
+STREAM_COMPLETENESS = 5
 
 
 def client_round_seed(
@@ -47,3 +53,17 @@ def client_round_rng(
 ) -> np.random.Generator:
     """A fresh generator for one cell; independent across cells and streams."""
     return np.random.default_rng(client_round_seed(base_seed, round_idx, client_id, stream))
+
+
+def client_static_rng(
+    base_seed: int, client_id: int, stream: int = STREAM_BATCHES
+) -> np.random.Generator:
+    """A per-client generator with no time coordinate.
+
+    Used for static per-client traits (a sinusoidal phase offset, a
+    label-skew availability rate).  The two-element spawn key can never
+    collide with the three-element ``(round, client, stream)`` cells.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=base_seed, spawn_key=(client_id, stream))
+    )

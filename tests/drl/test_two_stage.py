@@ -60,6 +60,28 @@ class TestCollectWorkerExperience:
         with pytest.raises(ValueError):
             collect_worker_experience(env_factory, CFG, 0, 10)
 
+    def test_executor_dispatch_matches_sequential(self):
+        """Workers dispatched through a pooled Executor produce the same
+        merged experience as the sequential default, in the same order."""
+        from repro.runtime import ThreadExecutor
+
+        serial_merged, serial_results = collect_worker_experience(
+            env_factory, CFG, 3, 10, seed=1
+        )
+        executor = ThreadExecutor(workers=3)
+        try:
+            pooled_merged, pooled_results = collect_worker_experience(
+                env_factory, CFG, 3, 10, seed=1, executor=executor
+            )
+        finally:
+            executor.close()
+        assert [r.worker_id for r in pooled_results] == [0, 1, 2]
+        assert len(pooled_merged) == len(serial_merged) == 30
+        for a, b in zip(serial_merged.items(), pooled_merged.items()):
+            np.testing.assert_array_equal(a.state, b.state)
+            np.testing.assert_array_equal(a.action, b.action)
+            assert a.reward == b.reward
+
 
 class TestTrainOffline:
     def make_filled_buffer(self, n=40):
