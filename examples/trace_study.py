@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Trace study: *where* fedbuff's 2.31x makespan win comes from.
+
+``BENCH_fleet.json`` records that under the Markov-churn fleet scenario
+(20% mean offline fraction, 10% mid-round dropout, 30% of devices 8x
+slower) the event-driven FedBuff engine matches the synchronous barrier's
+final accuracy in ~2.31x less simulated time.  The headline number says
+*that* it wins; the trace layer (``repro.obs``) shows *why*.
+
+This script runs both protocols with ``trace=PATH`` — the same flag the
+CLI exposes as ``--trace`` — and compares their trace-summary breakdowns:
+
+* **sync** — every round is a barrier: each ``round`` window lasts as
+  long as its slowest online participant, so the per-client ``idle``
+  (barrier-wait) time piles up whenever an 8x straggler is in the round.
+* **fedbuff** — ``agg_window`` spans close every 5 arrivals; a straggler
+  only ever delays itself, so device time shifts from ``idle`` into
+  ``compute`` and the server timeline compresses.
+
+Artifacts land in ``./traces/`` — load the ``.chrome.json`` files in
+https://ui.perfetto.dev to see the two timelines side by side, or rerun
+the breakdown later with ``python -m repro trace-summary PATH``.
+
+Run:  python examples/trace_study.py
+"""
+
+from repro.harness import ExperimentConfig, run_experiment
+from repro.obs import format_summary, summarize_trace
+
+# The BENCH_fleet markov scenario (see benchmarks/bench_fleet.py).
+SYNC_ROUNDS = 30
+JOB_BUDGET_FACTOR = 1.6
+
+
+def base_config(trace_path: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="mnist", partition="CE", method="fedavg",
+        n_clients=10, clients_per_round=10, scale="bench",
+        rounds=SYNC_ROUNDS, seed=0,
+        latency_model="lognormal",
+        straggler_fraction=0.3, straggler_slowdown=8.0,
+        availability="markov", offline_fraction=0.2, churn_rate=0.5,
+        dropout_prob=0.1,
+        trace=trace_path, metrics_interval=5.0,
+    )
+
+
+def main() -> None:
+    sync_cfg = base_config("traces/sync.trace.jsonl")
+    fedbuff_cfg = base_config("traces/fedbuff.trace.jsonl").with_(
+        rounds=int(JOB_BUDGET_FACTOR * SYNC_ROUNDS),
+        aggregation="fedbuff", buffer_size=5, staleness="hinge",
+        dispatch="fairness", server_mix="delta",
+    )
+
+    print("=== Trace study: sync vs fedbuff under markov churn ===\n")
+    results = {}
+    for name, cfg in (("sync", sync_cfg), ("fedbuff", fedbuff_cfg)):
+        result = run_experiment(cfg)
+        results[name] = result
+        summary = summarize_trace(cfg.trace)
+        print(f"--- {name}: best acc {result.best_accuracy:.3f}, "
+              f"{result.extra['sim_time_s']:.1f}s simulated ---")
+        print(format_summary(summary))
+        print()
+
+    speedup = (results["sync"].extra["sim_time_s"]
+               / results["fedbuff"].extra["sim_time_s"])
+    print(f"makespan speedup (sync / fedbuff): {speedup:.2f}x")
+    print(
+        "\nThe breakdowns localize the win: the sync trace's device time is"
+        "\ndominated by 'idle' (fast clients parked at the round barrier"
+        "\nbehind 8x stragglers), while fedbuff's idle share collapses —"
+        "\nits windows close on arrivals, not on the slowest device."
+        "\nLoad traces/*.chrome.json in https://ui.perfetto.dev to see the"
+        "\nper-client timelines; the .manifest.json next to each trace"
+        "\nrecords the exact config, seeds, and versions that produced it."
+    )
+
+
+if __name__ == "__main__":
+    main()

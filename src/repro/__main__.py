@@ -13,6 +13,9 @@ Examples::
     python -m repro --method fedavg --latency-model lognormal \
         --availability markov --offline-fraction 0.2 --churn-rate 0.5 \
         --dropout-prob 0.1 --completeness 0.5
+    python -m repro --method fedavg --latency-model lognormal \
+        --trace run.trace.jsonl --metrics-interval 10
+    python -m repro trace-summary run.trace.jsonl
     python -m repro --list            # show the valid grid values
 """
 
@@ -127,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dispatch", default="random", choices=VALID_DISPATCH,
                         help="async job dispatch among online idle clients: "
                              "uniform, or fairness (fewest jobs first)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="stream spans/metrics to a JSONL trace at PATH "
+                             "(a Chrome trace and a run manifest are written "
+                             "next to it)")
+    parser.add_argument("--metrics-interval", type=float, default=0.0,
+                        help="snapshot the metrics registry into the trace "
+                             "every N simulated seconds (needs --trace)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable result")
     parser.add_argument("--list", action="store_true",
@@ -134,7 +144,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def trace_summary_main(argv: list[str]) -> int:
+    """``python -m repro trace-summary PATH`` — per-phase trace breakdown."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace-summary",
+        description="Summarize a repro trace: per-phase simulated/wall time.",
+    )
+    parser.add_argument("path", help="JSONL trace written by --trace")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
+    args = parser.parse_args(argv)
+    from repro.obs import format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.path)
+    except (OSError, ValueError) as err:
+        print(f"python -m repro trace-summary: error: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace-summary":
+        return trace_summary_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         print(f"datasets:   {', '.join(VALID_DATASETS)}")
@@ -176,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
             dropout_prob=args.dropout_prob,
             completeness=args.completeness,
             dispatch=args.dispatch,
+            trace=args.trace,
+            metrics_interval=args.metrics_interval,
         )
     except ValueError as err:
         # Cross-flag constraints (K <= N, drop needs a deadline, ...) live
@@ -225,6 +265,9 @@ def main(argv: list[str] | None = None) -> int:
                   f"{result.extra['connectivity_dropped']} updates lost to "
                   f"dropout, mean work fraction "
                   f"{result.extra['mean_work_fraction']:.2f}{online_s}")
+        if result.extra and "trace_paths" in result.extra:
+            print(f"  trace:               {result.extra['trace_paths']['trace']} "
+                  f"(+ .chrome.json, .manifest.json)")
         if result.history is not None:
             tail = result.history.accuracy_series()[-3:]
             series = "  ".join(f"r{r}:{v:.3f}" for r, v in tail)

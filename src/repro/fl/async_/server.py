@@ -49,6 +49,17 @@ from repro.fl.strategies.base import Strategy, combine_updates
 from repro.fleet.simulator import FleetSimulator
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
+from repro.obs.trace import (
+    CAT_AGGREGATION,
+    CAT_COMM,
+    CAT_COMPUTE,
+    CAT_FLEET,
+    CAT_IDLE,
+    CAT_QUEUE_WAIT,
+    CAT_RUNTIME,
+    CAT_WINDOW,
+    Tracer,
+)
 from repro.runtime.clock import VirtualClock, n_local_batches
 from repro.runtime.executor import Executor, RoundContext, SerialExecutor
 
@@ -91,6 +102,7 @@ class AsyncFederatedServer:
         server_mix: float | str | None = None,
         fleet: FleetSimulator | None = None,
         dispatch: str = "random",
+        tracer: Tracer | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -158,6 +170,14 @@ class AsyncFederatedServer:
         self.discarded_updates = 0
         # Arrivals whose upload was lost to fleet connectivity dropout.
         self.dropped_arrivals = 0
+        # Observability is opt-in: tracer=None keeps every hot-path call
+        # site at one `is not None` branch and allocates nothing.
+        self.tracer = tracer
+        if tracer is not None and fleet is not None:
+            fleet.metrics = tracer.metrics
+        # Simulated time each client went idle (its last arrival), so the
+        # tracer can draw the gap before its next dispatch.
+        self._idle_since: dict[int, float] = {}
         self._loss = SoftmaxCrossEntropy()
 
     # -- dispatch -----------------------------------------------------------
@@ -217,6 +237,13 @@ class AsyncFederatedServer:
             idle.discard(cid)
             self.jobs_dispatched[cid] += 1
             next_job += 1
+            if self.tracer is not None:
+                idle_t0 = self._idle_since.pop(cid, None)
+                if idle_t0 is not None and now > idle_t0:
+                    self.tracer.span(
+                        "between_jobs", CAT_IDLE, track=f"client/{cid}",
+                        sim_t0=idle_t0, sim_dur=now - idle_t0, client=cid,
+                    )
         return next_job
 
     def _wait_for_fleet(self, now: float) -> float:
@@ -258,8 +285,21 @@ class AsyncFederatedServer:
                 client_kwargs=self.strategy.client_kwargs(),
                 job_rounds={j.client_id: j.job_idx for j in group},
                 client_batches=client_batches,
+                trace=self.tracer is not None,
             )
-            updates = self.executor.run_round(ctx, [j.client_id for j in group])
+            tr = self.tracer
+            ids = [j.client_id for j in group]
+            if tr is None:
+                updates = self.executor.run_round(ctx, ids)
+            else:
+                with tr.wall_span("executor.batch", CAT_RUNTIME,
+                                  version=job.model_version, jobs=len(group)):
+                    updates = self.executor.run_round(ctx, ids)
+                tr.add_worker_spans(self.executor.take_worker_spans())
+                ipc = getattr(self.executor, "last_ipc_bytes", None)
+                if ipc is not None:
+                    tr.metrics.inc("rt.ipc.bytes_out", ipc["out"])
+                    tr.metrics.inc("rt.ipc.bytes_in", ipc["in"])
             for j, update in zip(group, updates):
                 computed[j.job_idx] = update
         return computed.pop(job.job_idx)
@@ -278,6 +318,7 @@ class AsyncFederatedServer:
         stalenesses = [s for _, _, s, _ in buffer]
         factors = np.array([f for _, _, _, f in buffer])
 
+        w0 = time.time()
         t0 = time.perf_counter()
         base = np.asarray(self.strategy.impact_factors(updates, agg_idx), dtype=float)
         t1 = time.perf_counter()
@@ -317,10 +358,82 @@ class AsyncFederatedServer:
             staleness=stalenesses,
             staleness_factors=[float(f) for f in factors],
         )
+        if self.tracer is not None:
+            self._trace_aggregation(record, now, last_agg_t, (w0, t0, t1, t2))
         if self.test_set is not None and agg_idx % self.config.eval_every == 0:
-            self._evaluate(record)
+            if self.tracer is not None:
+                with self.tracer.wall_span("evaluate", CAT_RUNTIME,
+                                           aggregation=agg_idx):
+                    self._evaluate(record)
+            else:
+                self._evaluate(record)
         self.history.append(record)
         return record
+
+    def _trace_aggregation(
+        self,
+        record: RoundRecord,
+        now: float,
+        last_agg_t: float,
+        wall: tuple[float, float, float, float],
+    ) -> None:
+        """Emit one buffer flush's spans and metrics (tracer != None only).
+
+        The ``agg_window`` spans tile the simulated timeline between
+        consecutive flushes, so their durations sum to the run's total
+        simulated time — the async counterpart of the synchronous
+        engine's ``round`` windows.
+        """
+        tr = self.tracer
+        w0, t0, t1, t2 = wall
+        tr.span("agg_window", CAT_WINDOW, track="server",
+                sim_t0=last_agg_t, sim_dur=now - last_agg_t,
+                aggregation=record.round_idx, updates=len(record.participants))
+        tr.span("impact_factors", CAT_AGGREGATION, track="server",
+                wall_t0=w0, wall_dur=t1 - t0, aggregation=record.round_idx)
+        tr.span("aggregate", CAT_AGGREGATION, track="server",
+                wall_t0=w0 + (t1 - t0), wall_dur=t2 - t1,
+                aggregation=record.round_idx, updates=len(record.participants))
+        m = tr.metrics
+        m.inc("sim.aggregations")
+        m.inc("sim.updates.aggregated", len(record.participants))
+        m.observe("sim.window.span_s", record.sim_makespan_s)
+        for s in record.staleness or ():
+            m.observe("sim.staleness", s)
+        tr.maybe_snapshot(now)
+
+    def _trace_arrival(
+        self, job: ClientJob, now: float, staleness: int, dropped: bool
+    ) -> None:
+        """Emit one finished job's client-side spans (tracer != None only).
+
+        The job's simulated duration is decomposed into the device
+        profile's download / compute / upload shares — pure arithmetic on
+        already-drawn times, so tracing consumes no RNG.
+        """
+        tr = self.tracer
+        cid = job.client_id
+        track = f"client/{cid}"
+        download, compute, upload = self.clock.decompose(
+            cid, job.n_batches, job.duration_s
+        )
+        start = job.dispatch_time_s
+        tr.span("download", CAT_COMM, track=track,
+                sim_t0=start, sim_dur=download, job=job.job_idx, client=cid)
+        tr.span("local_train", CAT_COMPUTE, track=track,
+                sim_t0=start + download, sim_dur=compute,
+                job=job.job_idx, client=cid, batches=job.n_batches,
+                staleness=staleness)
+        tr.span("upload", CAT_COMM, track=track,
+                sim_t0=start + download + compute, sim_dur=upload,
+                job=job.job_idx, client=cid)
+        m = tr.metrics
+        m.inc("sim.comm.payload_s", download + upload)
+        m.inc("sim.jobs.arrived")
+        if dropped:
+            tr.instant("connectivity_drop", CAT_FLEET, track=track,
+                       sim_t=now, job=job.job_idx, client=cid)
+            m.inc("sim.updates.dropped_connectivity")
 
     def _evaluate(self, record: RoundRecord) -> None:
         self.model.set_flat_weights(self.global_weights)
@@ -349,7 +462,13 @@ class AsyncFederatedServer:
                 # Budget remains but every idle client was offline at the
                 # last dispatch point: wait (advance simulated time) until
                 # someone churns back online, then re-enqueue work.
+                waited_from = now
                 now = self._wait_for_fleet(now)
+                if self.tracer is not None and now > waited_from:
+                    self.tracer.span(
+                        "fleet.wait", CAT_QUEUE_WAIT, track="server",
+                        sim_t0=waited_from, sim_dur=now - waited_from,
+                    )
                 next_job = self._dispatch_until_full(
                     now, version, queue, idle, in_flight, next_job
                 )
@@ -389,6 +508,16 @@ class AsyncFederatedServer:
             ))
             if not dropped:
                 buffer.append((job, update, staleness, factor))
+            if self.tracer is not None:
+                self._trace_arrival(job, now, staleness, dropped)
+                self._idle_since[job.client_id] = now
+                m = self.tracer.metrics
+                m.set_gauge("sim.jobs.in_flight", len(in_flight))
+                m.set_gauge("sim.buffer.depth", len(buffer))
+                if self.fleet is not None:
+                    m.set_gauge(
+                        "sim.fleet.online", len(self.fleet.online_ids(now))
+                    )
 
             if len(buffer) >= self.flush_size:
                 self._aggregate(buffer, version, now, last_agg_t)

@@ -36,7 +36,18 @@ from repro.fleet.simulator import FleetSimulator
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
 from repro.nn.model import Sequential
-from repro.runtime.clock import VirtualClock, n_local_batches
+from repro.obs.trace import (
+    CAT_AGGREGATION,
+    CAT_COMM,
+    CAT_COMPUTE,
+    CAT_FLEET,
+    CAT_IDLE,
+    CAT_QUEUE_WAIT,
+    CAT_RUNTIME,
+    CAT_WINDOW,
+    Tracer,
+)
+from repro.runtime.clock import RoundTiming, VirtualClock, n_local_batches
 from repro.runtime.executor import Executor, RoundContext, SerialExecutor
 
 
@@ -255,6 +266,7 @@ class FederatedSimulation:
         executor: Executor | None = None,
         clock: VirtualClock | None = None,
         fleet: FleetSimulator | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -282,6 +294,11 @@ class FederatedSimulation:
         self.executor = executor
         self.clock = clock
         self.fleet = fleet
+        # Observability is opt-in: tracer=None keeps every hot-path call
+        # site at one `is not None` branch and allocates nothing.
+        self.tracer = tracer
+        if tracer is not None and fleet is not None:
+            fleet.metrics = tracer.metrics
         self.history = History()
         self._loss = SoftmaxCrossEntropy()
 
@@ -355,8 +372,20 @@ class FederatedSimulation:
             base_seed=cfg.seed,
             client_kwargs=self.strategy.client_kwargs(),
             client_batches=client_batches,
+            trace=self.tracer is not None,
         )
-        return self.executor.run_round(ctx, participants)
+        tr = self.tracer
+        if tr is None:
+            return self.executor.run_round(ctx, participants)
+        with tr.wall_span("executor.round", CAT_RUNTIME,
+                          round=round_idx, participants=len(participants)):
+            updates = self.executor.run_round(ctx, participants)
+        tr.add_worker_spans(self.executor.take_worker_spans())
+        ipc = getattr(self.executor, "last_ipc_bytes", None)
+        if ipc is not None:
+            tr.metrics.inc("rt.ipc.bytes_out", ipc["out"])
+            tr.metrics.inc("rt.ipc.bytes_in", ipc["in"])
+        return updates
 
     def _observe_clock(
         self,
@@ -364,10 +393,15 @@ class FederatedSimulation:
         participants: list[int],
         updates: list[ClientUpdate],
         client_batches: dict[int, int] | None = None,
-    ) -> tuple[list[ClientUpdate], float | None, list[int]]:
-        """Apply the virtual clock: record makespan, enforce the deadline."""
+    ) -> tuple[list[ClientUpdate], RoundTiming | None, dict[int, int]]:
+        """Apply the virtual clock: record makespan, enforce the deadline.
+
+        Returns the surviving updates, the round's :class:`RoundTiming`
+        (None without a clock), and the per-client batch counts the
+        timing was computed from (the tracer decomposes spans with them).
+        """
         if self.clock is None:
-            return updates, None, []
+            return updates, None, {}
         cfg = self.config
         batches = {
             cid: n_local_batches(
@@ -381,7 +415,7 @@ class FederatedSimulation:
         if timing.dropped:
             dropped = set(timing.dropped)
             updates = [u for u in updates if u.client_id not in dropped]
-        return updates, timing.makespan_s, timing.dropped
+        return updates, timing, batches
 
     def _fleet_dropout(
         self, round_idx: int, updates: list[ClientUpdate]
@@ -401,19 +435,23 @@ class FederatedSimulation:
         return [u for u in updates if u.client_id not in lost], dropped
 
     def run_round(self, round_idx: int) -> RoundRecord:
+        sim0 = self.clock.elapsed_s if self.clock is not None else None
         pool, wait_s, online_count = self._fleet_pool(round_idx)
         participants = self.sample_participants(round_idx, available=pool)
         budgets = self._fleet_budgets(round_idx, participants)
         updates = self.collect_updates(participants, round_idx, budgets)
-        updates, sim_makespan, dropped = self._observe_clock(
+        updates, timing, batches = self._observe_clock(
             round_idx, participants, updates, budgets
         )
+        sim_makespan = timing.makespan_s if timing is not None else None
+        dropped = timing.dropped if timing is not None else []
         updates, conn_dropped = self._fleet_dropout(round_idx, updates)
         kept = [u.client_id for u in updates]
         self.selector.observe(
             kept, np.array([u.loss_before for u in updates])
         )
 
+        w0 = time.time()
         t0 = time.perf_counter()
         alphas = self.strategy.impact_factors(updates, round_idx)
         t1 = time.perf_counter()
@@ -444,19 +482,104 @@ class FederatedSimulation:
             connectivity_dropped=conn_dropped,
             work_fractions=work_fractions,
         )
+        if self.tracer is not None:
+            self._trace_round(record, timing, sim0, batches, (w0, t0, t1, t2))
         if self.test_set is not None and (
             round_idx % self.config.eval_every == 0
             or round_idx == self.config.rounds - 1
         ):
-            self.model.set_flat_weights(self.global_weights)
-            record.test_accuracy = top1_accuracy(
-                self.model, self.test_set.x, self.test_set.y
-            )
-            record.test_loss = evaluate_loss(
-                self.model, self._loss, self.test_set.x, self.test_set.y
-            )
+            if self.tracer is not None:
+                # One span covers the arena broadcast (set_flat_weights)
+                # plus the forward passes it feeds.
+                with self.tracer.wall_span("evaluate", CAT_RUNTIME,
+                                           round=round_idx):
+                    self._eval_into(record)
+            else:
+                self._eval_into(record)
         self.history.append(record)
         return record
+
+    def _eval_into(self, record: RoundRecord) -> None:
+        self.model.set_flat_weights(self.global_weights)
+        record.test_accuracy = top1_accuracy(
+            self.model, self.test_set.x, self.test_set.y
+        )
+        record.test_loss = evaluate_loss(
+            self.model, self._loss, self.test_set.x, self.test_set.y
+        )
+
+    def _trace_round(
+        self,
+        record: RoundRecord,
+        timing: RoundTiming | None,
+        sim0: float | None,
+        batches: dict[int, int],
+        wall: tuple[float, float, float, float],
+    ) -> None:
+        """Emit one round's spans and metrics (tracer != None only).
+
+        Simulated-time fields derive from the virtual clock's timings —
+        already pure functions of the seed — so the trace is
+        bit-identical across execution backends; the wall fields (server
+        aggregation) are this host's real cost.  Without a clock only
+        wall spans are emitted.
+        """
+        tr = self.tracer
+        w0, t0, t1, t2 = wall
+        tr.span("impact_factors", CAT_AGGREGATION, track="server",
+                wall_t0=w0, wall_dur=t1 - t0, round=record.round_idx)
+        tr.span("aggregate", CAT_AGGREGATION, track="server",
+                wall_t0=w0 + (t1 - t0), wall_dur=t2 - t1,
+                round=record.round_idx, updates=len(record.participants))
+        m = tr.metrics
+        m.inc("sim.rounds")
+        m.inc("sim.updates.aggregated", len(record.participants))
+        m.inc("sim.updates.dropped_deadline", len(record.dropped_clients))
+        m.inc("sim.updates.dropped_connectivity", len(record.connectivity_dropped))
+        if record.online_count is not None:
+            m.set_gauge("sim.fleet.online", record.online_count)
+        if timing is None or sim0 is None:
+            return
+        tr.span("round", CAT_WINDOW, track="server",
+                sim_t0=sim0, sim_dur=record.sim_makespan_s,
+                round=record.round_idx, participants=len(record.participants))
+        m.observe("sim.round.makespan_s", record.sim_makespan_s)
+        if record.wait_s > 0:
+            tr.span("fleet.wait", CAT_QUEUE_WAIT, track="server",
+                    sim_t0=sim0, sim_dur=record.wait_s, round=record.round_idx)
+        start = sim0 + record.wait_s
+        deadline_dropped = set(timing.dropped)
+        conn_dropped = set(record.connectivity_dropped)
+        for cid, total in timing.client_times_s.items():
+            download, compute, upload = self.clock.decompose(
+                cid, batches[cid], total
+            )
+            track = f"client/{cid}"
+            tr.span("download", CAT_COMM, track=track,
+                    sim_t0=start, sim_dur=download,
+                    round=record.round_idx, client=cid)
+            tr.span("local_train", CAT_COMPUTE, track=track,
+                    sim_t0=start + download, sim_dur=compute,
+                    round=record.round_idx, client=cid, batches=batches[cid])
+            tr.span("upload", CAT_COMM, track=track,
+                    sim_t0=start + download + compute, sim_dur=upload,
+                    round=record.round_idx, client=cid)
+            m.inc("sim.comm.payload_s", download + upload)
+            if cid in deadline_dropped:
+                tr.instant("deadline_drop", CAT_FLEET, track=track,
+                           sim_t=start + min(total, timing.deadline_s or total),
+                           round=record.round_idx, client=cid)
+            elif cid in conn_dropped:
+                tr.instant("connectivity_drop", CAT_FLEET, track=track,
+                           sim_t=start + total,
+                           round=record.round_idx, client=cid)
+            else:
+                idle = timing.makespan_s - total
+                if idle > 0:
+                    tr.span("barrier.wait", CAT_IDLE, track=track,
+                            sim_t0=start + total, sim_dur=idle,
+                            round=record.round_idx, client=cid)
+        tr.maybe_snapshot(self.clock.elapsed_s)
 
     def run(self) -> History:
         """Run all T communication rounds (Algorithm 2, line 3)."""

@@ -5,29 +5,23 @@ policy-network inference — costs milliseconds, dwarfed by the weighted
 aggregation itself for large models.  These helpers measure both pieces
 for any strategy, outside of a full simulation, so the Fig. 9 bench can
 sweep model sizes cheaply.
+
+Timing primitives live in :mod:`repro.obs.metrics` (one stopwatch
+implementation for the whole codebase); :class:`Timer` is re-exported
+here for its historical callers.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.fl.client import ClientUpdate
 from repro.fl.strategies.base import Strategy, combine_updates
+from repro.obs.metrics import Histogram, Timer
 
-
-class Timer:
-    """Minimal context-manager stopwatch (``perf_counter`` based)."""
-
-    def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
-        self.elapsed = 0.0
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self._t0
+__all__ = ["Timer", "OverheadReport", "synthetic_updates", "measure_server_overhead"]
 
 
 @dataclass
@@ -64,17 +58,17 @@ def measure_server_overhead(
     """Time impact-factor computation and aggregation separately."""
     if repeats <= 0:
         raise ValueError("repeats must be positive")
-    impact_times, agg_times = [], []
+    impact, agg = Histogram(), Histogram()
     for r in range(repeats):
         with Timer() as t_impact:
             alphas = strategy.impact_factors(updates, round_idx=r)
         with Timer() as t_agg:
             combine_updates(updates, alphas)
-        impact_times.append(t_impact.elapsed)
-        agg_times.append(t_agg.elapsed)
+        impact.observe(t_impact.elapsed)
+        agg.observe(t_agg.elapsed)
     return OverheadReport(
-        impact_ms=float(np.mean(impact_times) * 1e3),
-        aggregation_ms=float(np.mean(agg_times) * 1e3),
+        impact_ms=impact.mean * 1e3,
+        aggregation_ms=agg.mean * 1e3,
         model_dim=updates[0].weights.shape[0],
         clients=len(updates),
     )

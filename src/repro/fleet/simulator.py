@@ -66,6 +66,11 @@ class FleetSimulator:
         self.dropout_prob = dropout_prob
         self.completeness = completeness
         self.slot_s = slot_s
+        # Optional observability hook (a repro.obs.MetricsRegistry): the
+        # engines attach it when tracing is on.  The fleet records only
+        # ``sim.*`` metrics — counts of its own deterministic decisions —
+        # so totals stay bit-identical across execution backends.
+        self.metrics = None
 
     # -- availability --------------------------------------------------------
     def slot(self, time_s: float) -> int:
@@ -100,6 +105,9 @@ class FleetSimulator:
         t = time_s
         for _ in range(max_slots):
             if len(online) >= min_count:
+                if self.metrics is not None and t > time_s:
+                    self.metrics.inc("sim.fleet.wait_s", t - time_s)
+                    self.metrics.inc("sim.fleet.waits")
                 return t, online
             t = (self.slot(t) + 1) * self.slot_s
             online = self.online_ids(t, ids)
@@ -115,7 +123,10 @@ class FleetSimulator:
         if self.dropout_prob <= 0.0:
             return False
         rng = client_round_rng(self.seed, index, client_id, STREAM_DROPOUT)
-        return float(rng.random()) < self.dropout_prob
+        dropped = float(rng.random()) < self.dropout_prob
+        if self.metrics is not None and dropped:
+            self.metrics.inc("sim.fleet.drops")
+        return dropped
 
     # -- completeness --------------------------------------------------------
     def work_fraction(self, index: int, client_id: int) -> float:
@@ -130,7 +141,10 @@ class FleetSimulator:
         """The (>=1) number of local batches after the completeness draw."""
         if full_batches <= 0:
             raise ValueError("full_batches must be positive")
-        return max(1, int(round(self.work_fraction(index, client_id) * full_batches)))
+        fraction = self.work_fraction(index, client_id)
+        if self.metrics is not None and self.completeness < 1.0:
+            self.metrics.observe("sim.fleet.work_fraction", fraction)
+        return max(1, int(round(fraction * full_batches)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

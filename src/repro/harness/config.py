@@ -156,6 +156,13 @@ class ExperimentConfig:
     dropout_prob: float = 0.0
     completeness: float = 1.0
     dispatch: str = "random"
+    # Observability (repro.obs): trace=PATH streams spans/metrics to a
+    # JSONL trace (plus a Chrome trace and a run manifest next to it);
+    # None disables tracing entirely (no-op at every call site).
+    # metrics_interval > 0 snapshots the metrics registry into the trace
+    # every that-many simulated seconds.
+    trace: str | None = None
+    metrics_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.dataset not in VALID_DATASETS:
@@ -192,6 +199,15 @@ class ExperimentConfig:
             raise ValueError(
                 "singleset is centralized training — backend/workers/"
                 "latency settings do not apply to it"
+            )
+        if self.metrics_interval < 0:
+            raise ValueError("metrics_interval must be non-negative")
+        if self.metrics_interval > 0 and self.trace is None:
+            raise ValueError("metrics_interval needs trace=PATH to write to")
+        if self.trace is not None and self.method == "singleset":
+            raise ValueError(
+                "tracing instruments the federated engines — singleset "
+                "is centralized training and emits no trace"
             )
         if self.deadline_policy == "drop" and self.deadline_s is None:
             raise ValueError("deadline_policy='drop' requires deadline_s")

@@ -19,8 +19,13 @@ from repro.harness.runner import ExperimentResult
 
 
 def history_to_dict(history: History) -> dict:
-    """Flatten a :class:`History` into JSON-serialisable primitives."""
-    return {
+    """Flatten a :class:`History` into JSON-serialisable primitives.
+
+    Covers the virtual-clock, async-engine, and fleet-simulator fields:
+    the round-trip ``json.loads(json.dumps(history_to_dict(h)))`` keeps
+    every summary a figure bench might read.
+    """
+    out = {
         "rounds": len(history.records),
         "accuracy_series": [[r, float(a)] for r, a in history.accuracy_series()],
         "best_accuracy": history.best_accuracy(),
@@ -28,7 +33,32 @@ def history_to_dict(history: History) -> dict:
         "loss_var_series": history.loss_var_series(),
         "mean_impact_time_ms": history.mean_impact_time() * 1e3,
         "mean_aggregation_time_ms": history.mean_aggregation_time() * 1e3,
+        # Virtual-clock timing (empty/zero without a clock).
+        "makespan_series": [float(m) for m in history.makespan_series()],
+        "total_sim_time_s": history.total_sim_time(),
+        "total_dropped": history.total_dropped(),
+        # Fleet behavior (empty/identity on an ideal fleet).
+        "online_series": [[r, int(n)] for r, n in history.online_series()],
+        "total_connectivity_dropped": history.total_connectivity_dropped(),
+        "mean_work_fraction": history.mean_work_fraction(),
+        # Async engine (empty/zero for synchronous runs).
+        "mean_staleness": history.mean_staleness(),
+        "events": [
+            {
+                "job_idx": e.job_idx,
+                "client_id": e.client_id,
+                "dispatch_time_s": float(e.dispatch_time_s),
+                "arrival_time_s": float(e.arrival_time_s),
+                "dispatch_version": e.dispatch_version,
+                "arrival_version": e.arrival_version,
+                "staleness": e.staleness,
+                "staleness_factor": float(e.staleness_factor),
+                "dropped": bool(e.dropped),
+            }
+            for e in history.events
+        ],
     }
+    return out
 
 
 def result_to_dict(result: ExperimentResult) -> dict:

@@ -19,6 +19,7 @@ from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
 from repro.fleet import FleetSimulator, get_availability_model
 from repro.harness.config import ExperimentConfig
 from repro.nn.dtypes import default_dtype, set_default_dtype
+from repro.obs import Tracer, write_run_artifacts
 from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
 from repro.runtime import (
     ThreadExecutor,
@@ -237,13 +238,16 @@ def build_fl_config(cfg: ExperimentConfig) -> FLConfig:
     )
 
 
-def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation | AsyncFederatedServer:
+def build_simulation(
+    cfg: ExperimentConfig, tracer: Tracer | None = None
+) -> FederatedSimulation | AsyncFederatedServer:
     """Everything up to (but not including) ``run()`` — used by figures that
     need access to the live simulation.
 
     ``aggregation="sync"`` builds the classic round loop; ``fedbuff`` /
     ``fedasync`` build the event-driven engine instead — both expose the
-    same run()/close()/history/clock surface.
+    same run()/close()/history/clock surface.  ``tracer`` (repro.obs)
+    instruments whichever engine is built; the caller owns exporting it.
     """
     # The compute dtype must be pinned before any dataset/model allocation;
     # models, datasets and optimisers capture it at build time.
@@ -272,10 +276,12 @@ def build_simulation(cfg: ExperimentConfig) -> FederatedSimulation | AsyncFedera
             server_mix=cfg.server_mix,
             fleet=fleet,
             dispatch=cfg.dispatch,
+            tracer=tracer,
         )
     return FederatedSimulation(
         clients, test_set, model_factory, strategy, build_fl_config(cfg),
         executor=executor, clock=build_clock(cfg), fleet=fleet,
+        tracer=tracer,
     )
 
 
@@ -316,7 +322,10 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
             extra={"accuracies": result.accuracies},
         )
 
-    with build_simulation(cfg) as sim:
+    tracer = None
+    if cfg.trace is not None:
+        tracer = Tracer(metrics_interval=cfg.metrics_interval)
+    with build_simulation(cfg, tracer=tracer) as sim:
         history = sim.run()
     extra = None
     if sim.clock is not None:
@@ -340,6 +349,10 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
             })
             if cfg.aggregation == "sync":
                 extra["mean_online"] = history.mean_online()
+    if tracer is not None:
+        paths = write_run_artifacts(tracer, cfg.trace, config=cfg)
+        extra = dict(extra or {})
+        extra["trace_paths"] = paths
     return ExperimentResult(
         config=cfg,
         best_accuracy=history.best_accuracy(),

@@ -1,0 +1,132 @@
+"""Run manifests: everything needed to reproduce a trace's experiment.
+
+A manifest is written next to every exported trace and records the
+*resolved* experiment configuration (every scale-preset fallback filled
+in), the named seed streams the run can draw from and the derived seed
+offsets the harness hands to each subsystem, the compute dtype, the
+execution backend, package versions, and the repository's git SHA when
+available.  Any result artifact is then reproducible from its manifest
+alone: ``python -m repro`` flags map 1:1 onto the recorded config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.runtime import seeding
+
+MANIFEST_SCHEMA = "repro-manifest/v1"
+
+# The (seed-offset -> consumer) map the harness uses when deriving
+# subsystem seeds from ExperimentConfig.seed; recorded so a manifest
+# explains every generator a run constructed.
+SEED_OFFSETS = {
+    "model_init": 0,
+    "dataset": 0,
+    "partition": 5,
+    "clients": 11,
+    "feddrl_agent": 13,
+    "selector": 17,
+    "virtual_clock": 23,
+    "async_dispatch": 29,
+    "fleet": 31,
+}
+
+
+def seed_stream_names() -> dict[str, int]:
+    """The named per-cell RNG streams from :mod:`repro.runtime.seeding`."""
+    return {
+        name: getattr(seeding, name)
+        for name in sorted(dir(seeding))
+        if name.startswith("STREAM_")
+    }
+
+
+def git_sha(repo_dir: str | Path | None = None) -> str | None:
+    """The current git commit, or None outside a work tree / without git."""
+    if repo_dir is None:
+        repo_dir = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir), capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def build_manifest(config=None, extra: dict | None = None) -> dict:
+    """Assemble the manifest dict for one run.
+
+    ``config`` is an :class:`~repro.harness.config.ExperimentConfig` (or
+    None for library-level runs without one); ``extra`` lets callers
+    attach run outcomes (trace paths, headline metrics).
+    """
+    manifest: dict = {
+        "schema": MANIFEST_SCHEMA,
+        "versions": {
+            "repro": repro.__version__,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "platform": {
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "git_sha": git_sha(),
+        "seed_streams": seed_stream_names(),
+        "seed_offsets": dict(SEED_OFFSETS),
+    }
+    if config is not None:
+        resolved = dataclasses.asdict(config)
+        # Fill the scale-preset fallbacks so the manifest stands alone.
+        for name in ("rounds", "n_train", "n_test", "local_epochs",
+                     "batch_size", "model", "eval_every"):
+            resolved[name] = config.resolved(name)
+        resolved["effective_model"] = config.effective_model
+        manifest["config"] = resolved
+        manifest["seed"] = config.seed
+        manifest["dtype"] = config.dtype
+        manifest["backend"] = config.backend
+    if extra:
+        manifest["extra"] = extra
+    return manifest
+
+
+def write_manifest(path: str | Path, config=None, extra: dict | None = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(build_manifest(config, extra), indent=1) + "\n")
+    return path
+
+
+def write_run_artifacts(tracer, trace_path: str | Path, config=None,
+                        extra: dict | None = None) -> dict[str, str]:
+    """Export the full artifact set for one traced run.
+
+    ``trace_path`` receives the JSONL trace; the Perfetto-loadable Chrome
+    JSON and the manifest are written next to it with ``.chrome.json``
+    and ``.manifest.json`` suffixes appended.  Returns the paths.
+    """
+    trace_path = Path(trace_path)
+    jsonl = tracer.export_jsonl(trace_path)
+    chrome = tracer.export_chrome(Path(str(trace_path) + ".chrome.json"))
+    manifest = write_manifest(
+        Path(str(trace_path) + ".manifest.json"), config, extra
+    )
+    return {
+        "trace": str(jsonl),
+        "chrome": str(chrome),
+        "manifest": str(manifest),
+    }

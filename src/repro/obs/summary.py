@@ -1,0 +1,157 @@
+"""Per-phase time breakdowns from an exported trace file.
+
+``python -m repro trace-summary PATH`` prints where a run's time went,
+split along the two clock domains a trace carries:
+
+* **Server timeline (simulated)** — the top-level ``window`` spans (one
+  per synchronous round or asynchronous aggregation window) tile the
+  whole run, so their total equals ``History.total_sim_time()`` exactly;
+  ``queue_wait`` is the part the server spent waiting for an online
+  fleet.
+* **Device time (simulated, device-seconds)** — participants work in
+  parallel inside each window, so per-phase client totals (``comm`` =
+  download + upload, ``compute`` = local batches, ``idle`` = finished
+  but waiting at the barrier / between jobs) are sums over devices and
+  legitimately exceed the server timeline.
+* **Server work (wall)** — aggregation / impact-factor / evaluation /
+  executor-dispatch spans measured on the host clock.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from repro.obs.trace import (
+    CAT_AGGREGATION,
+    CAT_QUEUE_WAIT,
+    CAT_RUNTIME,
+    CAT_WINDOW,
+    read_trace,
+)
+
+
+def summarize_records(header: dict, records: list[dict]) -> dict:
+    """Aggregate a trace's records into the per-phase breakdown dict."""
+    windows = 0
+    total_sim = 0.0
+    queue_wait = 0.0
+    device_sim: dict[str, float] = defaultdict(float)
+    wall_by_name: dict[str, dict] = {}
+    instants: dict[str, int] = defaultdict(int)
+    worker_tracks: set[str] = set()
+    final_metrics: dict = {}
+
+    for rec in records:
+        rtype = rec.get("type")
+        if rtype == "metrics":
+            if rec.get("final") or not final_metrics:
+                final_metrics = {
+                    "counters": rec.get("counters", {}),
+                    "gauges": rec.get("gauges", {}),
+                    "histograms": rec.get("histograms", {}),
+                }
+            continue
+        if rtype == "instant":
+            instants[rec["name"]] += 1
+            continue
+        if rtype != "span":
+            continue
+        cat = rec.get("cat")
+        track = rec.get("track", "")
+        sim_dur = rec.get("sim_dur")
+        wall_dur = rec.get("wall_dur")
+        if cat == CAT_WINDOW and sim_dur is not None:
+            windows += 1
+            total_sim += sim_dur
+        elif sim_dur is not None:
+            if cat == CAT_QUEUE_WAIT:
+                queue_wait += sim_dur
+            else:
+                device_sim[cat] += sim_dur
+        if wall_dur is not None:
+            entry = wall_by_name.setdefault(
+                rec["name"], {"cat": cat, "count": 0, "wall_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_s"] += wall_dur
+            if track.startswith("worker/"):
+                worker_tracks.add(track)
+
+    return {
+        "schema": header.get("schema"),
+        "records": header.get("records", len(records)),
+        "dropped_records": header.get("dropped_records", 0),
+        "windows": windows,
+        "total_sim_s": total_sim,
+        "queue_wait_s": queue_wait,
+        "device_sim_s": dict(sorted(device_sim.items())),
+        "wall_spans": dict(sorted(wall_by_name.items())),
+        "instants": dict(sorted(instants.items())),
+        "workers_seen": len(worker_tracks),
+        "metrics": final_metrics,
+    }
+
+
+def summarize_trace(path: str | Path) -> dict:
+    header, records = read_trace(path)
+    summary = summarize_records(header, records)
+    summary["path"] = str(path)
+    return summary
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable per-phase breakdown (the trace-summary output)."""
+    lines = []
+    path = summary.get("path")
+    if path:
+        lines.append(f"trace: {path}")
+    lines.append(
+        f"records: {summary['records']} "
+        f"(+{summary['dropped_records']} dropped by the buffer bound)"
+    )
+    total = summary["total_sim_s"]
+    lines.append("")
+    lines.append(f"server timeline (simulated): {total:.3f} s "
+                 f"over {summary['windows']} aggregation windows")
+    qw = summary["queue_wait_s"]
+    if total > 0:
+        lines.append(f"  queue-wait (fleet offline)  {qw:10.3f} s  "
+                     f"({100.0 * qw / total:5.1f}%)")
+    device = summary["device_sim_s"]
+    if device:
+        lines.append("")
+        lines.append("device time (simulated, device-seconds across "
+                     "parallel participants):")
+        dev_total = sum(device.values())
+        for cat, secs in device.items():
+            pct = 100.0 * secs / dev_total if dev_total else 0.0
+            lines.append(f"  {cat:<26}  {secs:10.3f} s  ({pct:5.1f}%)")
+    wall = summary["wall_spans"]
+    server_wall = {
+        name: e for name, e in wall.items()
+        if e["cat"] in (CAT_AGGREGATION, CAT_RUNTIME)
+    }
+    if server_wall:
+        lines.append("")
+        lines.append("server & runtime work (wall clock):")
+        for name, e in server_wall.items():
+            mean_ms = 1e3 * e["wall_s"] / e["count"] if e["count"] else 0.0
+            lines.append(
+                f"  {name:<26}  {e['wall_s'] * 1e3:10.2f} ms total  "
+                f"({e['count']} spans, {mean_ms:.3f} ms mean)"
+            )
+    if summary["workers_seen"]:
+        lines.append(f"  worker tracks observed: {summary['workers_seen']}")
+    if summary["instants"]:
+        lines.append("")
+        lines.append("events:")
+        for name, count in summary["instants"].items():
+            lines.append(f"  {name:<26}  {count}")
+    counters = summary.get("metrics", {}).get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("final counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<26}  {value:g}")
+    return "\n".join(lines)

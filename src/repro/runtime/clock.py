@@ -216,6 +216,27 @@ class VirtualClock:
             base *= float(jrng.lognormal(mean=0.0, sigma=self.jitter_sigma))
         return base
 
+    def decompose(
+        self, client_id: int, n_batches: int, total_s: float
+    ) -> tuple[float, float, float]:
+        """Split a client's simulated round time into its phases.
+
+        Returns ``(download_s, compute_s, upload_s)`` scaled so they sum
+        to ``total_s`` (the jittered/straggler-multiplied actual time):
+        jitter and slowdown apply multiplicatively to the whole round, so
+        each phase keeps its share of the device profile.  Pure
+        arithmetic — no RNG draws — so tracing a round never perturbs
+        the timing streams.
+        """
+        profile = self.profiles[client_id]
+        base = profile.round_seconds(n_batches)
+        if base <= 0.0:
+            return 0.0, total_s, 0.0
+        scale = total_s / base
+        download = profile.download_s * scale
+        upload = profile.upload_s * scale
+        return download, total_s - download - upload, upload
+
     def observe_round(
         self, round_idx: int, participants: list[int], n_batches: dict[int, int]
     ) -> RoundTiming:

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import os
 import queue
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -59,6 +61,11 @@ class RoundContext:
     ``client_batches`` caps a client's total gradient steps for the round
     (the fleet simulator's completeness axis); clients absent from the
     mapping run their full ``epochs`` budget.
+
+    ``trace`` asks the backend to measure a wall-time span around each
+    client's local training and ship it back with the results (see
+    :meth:`Executor.take_worker_spans`); the default leaves the hot path
+    untouched.
     """
 
     round_idx: int
@@ -70,6 +77,7 @@ class RoundContext:
     client_kwargs: dict = field(default_factory=dict)
     job_rounds: dict[int, int] | None = None
     client_batches: dict[int, int] | None = None
+    trace: bool = False
 
 
 def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
@@ -104,6 +112,43 @@ def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
     )
 
 
+def _train_one_traced(
+    client: Client, model, loss, ctx: RoundContext, worker: str
+) -> tuple[ClientUpdate, dict]:
+    """:func:`_train_one` plus a wall-time span measured *in the worker*.
+
+    The span is a plain dict in the ``repro-trace/v1`` schema so it can
+    cross the process boundary with the task result and merge into the
+    parent's tracer — the obs layer never writes shared state from
+    worker processes.  Wall timestamps are epoch seconds, comparable
+    across processes; the span carries no simulated-time fields (those
+    are derived deterministically on the server side).
+    """
+    t0 = time.time()
+    p0 = time.perf_counter()
+    update = _train_one(client, model, loss, ctx)
+    seed_round = ctx.round_idx
+    if ctx.job_rounds is not None:
+        seed_round = ctx.job_rounds.get(client.client_id, seed_round)
+    span = {
+        "type": "span",
+        "name": "worker.local_train",
+        "cat": "runtime",
+        "track": f"worker/{worker}",
+        "sim_t0": None,
+        "sim_dur": None,
+        "wall_t0": t0,
+        "wall_dur": time.perf_counter() - p0,
+        "args": {"client": client.client_id, "round": seed_round},
+    }
+    return update, span
+
+
+def _worker_label() -> str:
+    """A stable label for the executing worker (process or thread)."""
+    return f"pid{os.getpid()}/{threading.current_thread().name}"
+
+
 class Executor:
     """Runs one round of client training; backends differ only in *how*."""
 
@@ -122,6 +167,20 @@ class Executor:
         The caller owns determinism: tasks must not share mutable state.
         """
         return [fn(item) for item in items]
+
+    def take_worker_spans(self) -> list[dict]:
+        """Worker-side wall spans from the last traced ``run_round``.
+
+        Returns (and clears) the span dicts measured inside workers when
+        the round's :attr:`RoundContext.trace` flag was set; empty for
+        untraced rounds.  The caller merges them into its tracer via
+        :meth:`repro.obs.Tracer.add_worker_spans`.
+        """
+        spans = getattr(self, "_worker_spans", None)
+        if not spans:
+            return []
+        self._worker_spans = []
+        return spans
 
     def close(self) -> None:
         """Release worker resources (idempotent)."""
@@ -146,10 +205,21 @@ class SerialExecutor(Executor):
         self._loss = SoftmaxCrossEntropy()
 
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
-        return [
-            _train_one(self.clients[cid], self._model, self._loss, ctx)
-            for cid in participants
-        ]
+        if not ctx.trace:
+            return [
+                _train_one(self.clients[cid], self._model, self._loss, ctx)
+                for cid in participants
+            ]
+        label = _worker_label()
+        results, spans = [], []
+        for cid in participants:
+            update, span = _train_one_traced(
+                self.clients[cid], self._model, self._loss, ctx, label
+            )
+            results.append(update)
+            spans.append(span)
+        self._worker_spans = spans
+        return results
 
 
 class ThreadExecutor(Executor):
@@ -192,10 +262,14 @@ class ThreadExecutor(Executor):
                 )
         return self._replicas
 
-    def _run(self, cid: int, ctx: RoundContext) -> ClientUpdate:
+    def _run(self, cid: int, ctx: RoundContext):
         replicas = self._replicas
         model, loss = replicas.get()
         try:
+            if ctx.trace:
+                return _train_one_traced(
+                    self.clients[cid], model, loss, ctx, _worker_label()
+                )
             return _train_one(self.clients[cid], model, loss, ctx)
         finally:
             replicas.put((model, loss))
@@ -203,7 +277,15 @@ class ThreadExecutor(Executor):
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
         self._ensure_replicas()
         futures = [self._pool.submit(self._run, cid, ctx) for cid in participants]
-        return [f.result() for f in futures]
+        if not ctx.trace:
+            return [f.result() for f in futures]
+        results, spans = [], []
+        for f in futures:
+            update, span = f.result()
+            results.append(update)
+            spans.append(span)
+        self._worker_spans = spans
+        return results
 
     def map_tasks(self, fn, items: list) -> list:
         return list(self._pool.map(fn, items))
@@ -226,11 +308,17 @@ def _init_worker(clients: list[Client], model_factory, dtype_name: str) -> None:
     _WORKER_STATE["loss"] = SoftmaxCrossEntropy()
 
 
-def _run_chunk(ctx: RoundContext, chunk: list[tuple[int, int]]) -> list[tuple[int, ClientUpdate]]:
+def _run_chunk(ctx: RoundContext, chunk: list[tuple[int, int]]):
     clients = _WORKER_STATE["clients"]
     model = _WORKER_STATE["model"]
     loss = _WORKER_STATE["loss"]
-    return [(pos, _train_one(clients[cid], model, loss, ctx)) for pos, cid in chunk]
+    if not ctx.trace:
+        return [(pos, _train_one(clients[cid], model, loss, ctx)) for pos, cid in chunk]
+    label = _worker_label()
+    return [
+        (pos, *_train_one_traced(clients[cid], model, loss, ctx, label))
+        for pos, cid in chunk
+    ]
 
 
 class ProcessExecutor(Executor):
@@ -265,9 +353,25 @@ class ProcessExecutor(Executor):
         chunks = [indexed[i::n_chunks] for i in range(n_chunks)]
         futures = [self._pool.submit(_run_chunk, ctx, chunk) for chunk in chunks]
         results: list[ClientUpdate | None] = [None] * len(indexed)
+        if not ctx.trace:
+            for f in futures:
+                for pos, update in f.result():
+                    results[pos] = update
+            return results  # type: ignore[return-value]
+        spans: list[dict] = []
         for f in futures:
-            for pos, update in f.result():
+            for pos, update, span in f.result():
                 results[pos] = update
+                spans.append(span)
+        self._worker_spans = spans
+        # IPC accounting for the metrics registry: the broadcast weights
+        # cross once per chunk, each update's weight vector comes back
+        # once.  Counted parent-side — deterministic for a fixed worker
+        # count, and no shared-state writes from the workers.
+        self.last_ipc_bytes = {
+            "out": int(ctx.global_weights.nbytes) * len(chunks),
+            "in": int(sum(u.weights.nbytes for u in results if u is not None)),
+        }
         return results  # type: ignore[return-value]
 
     def map_tasks(self, fn, items: list) -> list:

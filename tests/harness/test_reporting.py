@@ -31,6 +31,24 @@ def single_result():
     return run_experiment(cfg)
 
 
+@pytest.fixture(scope="module")
+def async_result():
+    cfg = ExperimentConfig(
+        method="fedavg", latency_model="lognormal", aggregation="fedbuff",
+        buffer_size=3, **FAST,
+    ).with_(rounds=3)
+    return run_experiment(cfg)
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    cfg = ExperimentConfig(
+        method="fedavg", latency_model="lognormal", availability="markov",
+        dropout_prob=0.2, completeness=0.6, **FAST,
+    ).with_(rounds=3)
+    return run_experiment(cfg)
+
+
 class TestHistoryToDict:
     def test_fields(self, fed_result):
         d = history_to_dict(fed_result.history)
@@ -41,6 +59,38 @@ class TestHistoryToDict:
 
     def test_json_serialisable(self, fed_result):
         json.dumps(history_to_dict(fed_result.history))
+
+    def test_sync_run_has_empty_async_fleet_fields(self, fed_result):
+        d = history_to_dict(fed_result.history)
+        assert d["events"] == []
+        assert d["makespan_series"] == []
+        assert d["online_series"] == []
+        assert d["total_dropped"] == 0
+        assert d["total_connectivity_dropped"] == 0
+        assert d["mean_work_fraction"] == 1.0
+        assert d["mean_staleness"] == 0.0
+
+    def test_async_round_trip(self, async_result):
+        h = async_result.history
+        d = json.loads(json.dumps(history_to_dict(h)))
+        assert len(d["events"]) == len(h.events)
+        assert d["mean_staleness"] == pytest.approx(h.mean_staleness())
+        assert d["total_sim_time_s"] == pytest.approx(h.total_sim_time())
+        assert d["makespan_series"] == pytest.approx(h.makespan_series())
+        ev, rec = d["events"][0], h.events[0]
+        assert ev["client_id"] == rec.client_id
+        assert ev["arrival_time_s"] == pytest.approx(rec.arrival_time_s)
+        assert ev["staleness"] == rec.staleness
+        assert ev["dropped"] == rec.dropped
+
+    def test_fleet_round_trip(self, fleet_result):
+        h = fleet_result.history
+        d = json.loads(json.dumps(history_to_dict(h)))
+        assert d["online_series"] == [[r, n] for r, n in h.online_series()]
+        assert d["total_connectivity_dropped"] == h.total_connectivity_dropped()
+        assert d["mean_work_fraction"] == pytest.approx(h.mean_work_fraction())
+        assert d["mean_work_fraction"] < 1.0
+        assert len(d["makespan_series"]) == len(h.records)
 
 
 class TestResultToDict:

@@ -1,0 +1,141 @@
+"""Cross-backend trace determinism.
+
+The obs contract: every simulated-time field (span ``sim_t0``/``sim_dur``,
+instant ``sim_t``, and all ``sim.*`` metric totals) is a pure function of
+the experiment seed, so traces from the serial / thread / process
+backends agree bit-for-bit on the sim domain.  Wall fields (``rt.*``
+metrics, executor spans) legitimately differ and are excluded.
+"""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import build_simulation
+from repro.nn.dtypes import default_dtype
+from repro.obs import Tracer
+from repro.obs.trace import validate_record
+
+BACKENDS = ("serial", "thread", "process")
+
+SYNC_FLEET = dict(
+    method="fedavg", scale="ci", n_clients=5, clients_per_round=5,
+    rounds=3, latency_model="lognormal", availability="markov",
+    dropout_prob=0.2, completeness=0.7,
+)
+FEDBUFF_FLEET = dict(
+    method="fedavg", scale="ci", n_clients=5, clients_per_round=5,
+    rounds=3, latency_model="lognormal", aggregation="fedbuff",
+    buffer_size=3, availability="markov", dropout_prob=0.2,
+)
+
+
+def _traced_run(cfg_kwargs, backend):
+    cfg = ExperimentConfig(**cfg_kwargs, backend=backend, workers=2)
+    tracer = Tracer()
+    with default_dtype(cfg.dtype):
+        with build_simulation(cfg, tracer=tracer) as sim:
+            history = sim.run()
+    return tracer, history
+
+
+def _sim_view(tracer):
+    """The deterministic projection of a trace: sim-domain fields only."""
+    out = []
+    for rec in tracer.records:
+        if rec["type"] == "span" and rec.get("sim_t0") is not None:
+            out.append((
+                rec["name"], rec["cat"], rec["track"],
+                rec["sim_t0"], rec["sim_dur"], tuple(sorted(
+                    rec.get("args", {}).items()
+                )),
+            ))
+        elif rec["type"] == "instant" and rec.get("sim_t") is not None:
+            out.append((
+                rec["name"], rec["cat"], rec["track"], rec["sim_t"],
+            ))
+    return out
+
+
+@pytest.fixture(scope="module")
+def sync_runs():
+    return {b: _traced_run(SYNC_FLEET, b) for b in BACKENDS}
+
+
+@pytest.fixture(scope="module")
+def fedbuff_runs():
+    return {b: _traced_run(FEDBUFF_FLEET, b) for b in BACKENDS}
+
+
+class TestSyncFleetDeterminism:
+    def test_sim_spans_identical_across_backends(self, sync_runs):
+        views = {b: _sim_view(tr) for b, (tr, _) in sync_runs.items()}
+        assert views["serial"] == views["thread"] == views["process"]
+        assert views["serial"], "trace must not be empty"
+
+    def test_sim_metric_totals_identical(self, sync_runs):
+        totals = {b: tr.metrics.sim_totals() for b, (tr, _) in sync_runs.items()}
+        assert totals["serial"] == totals["thread"] == totals["process"]
+        assert totals["serial"]["counters"]["sim.rounds"] == 3
+
+    def test_every_record_validates(self, sync_runs):
+        for tracer, _ in sync_runs.values():
+            for rec in tracer.records:
+                validate_record(rec)
+
+    def test_window_spans_tile_total_sim_time(self, sync_runs):
+        for tracer, history in sync_runs.values():
+            windows = sum(
+                r["sim_dur"] for r in tracer.records
+                if r["type"] == "span" and r["cat"] == "window"
+            )
+            assert windows == pytest.approx(history.total_sim_time(), abs=1e-9)
+
+    def test_tracing_does_not_perturb_results(self, sync_runs):
+        _, traced = sync_runs["serial"]
+        cfg = ExperimentConfig(**SYNC_FLEET, backend="serial")
+        with default_dtype(cfg.dtype):
+            with build_simulation(cfg) as sim:
+                untraced = sim.run()
+        assert traced.best_accuracy() == untraced.best_accuracy()
+        assert traced.makespan_series() == untraced.makespan_series()
+
+
+class TestFedbuffDeterminism:
+    def test_sim_spans_identical_across_backends(self, fedbuff_runs):
+        views = {b: _sim_view(tr) for b, (tr, _) in fedbuff_runs.items()}
+        assert views["serial"] == views["thread"] == views["process"]
+        assert views["serial"]
+
+    def test_sim_metric_totals_identical(self, fedbuff_runs):
+        totals = {b: tr.metrics.sim_totals() for b, (tr, _) in fedbuff_runs.items()}
+        assert totals["serial"] == totals["thread"] == totals["process"]
+        arrived = totals["serial"]["counters"]["sim.jobs.arrived"]
+        assert arrived == 15  # rounds x clients_per_round jobs
+
+    def test_every_record_validates(self, fedbuff_runs):
+        for tracer, _ in fedbuff_runs.values():
+            for rec in tracer.records:
+                validate_record(rec)
+
+    def test_agg_windows_tile_total_sim_time(self, fedbuff_runs):
+        for tracer, history in fedbuff_runs.values():
+            windows = sum(
+                r["sim_dur"] for r in tracer.records
+                if r["type"] == "span" and r["cat"] == "window"
+            )
+            assert windows == pytest.approx(history.total_sim_time(), abs=1e-9)
+
+    def test_staleness_distribution_recorded(self, fedbuff_runs):
+        tracer, history = fedbuff_runs["serial"]
+        hist = tracer.metrics.histogram("sim.staleness")
+        assert hist.count == sum(1 for e in history.events if not e.dropped)
+
+    def test_worker_spans_shipped_from_processes(self, fedbuff_runs):
+        tracer, _ = fedbuff_runs["process"]
+        worker_spans = [
+            r for r in tracer.records
+            if r["type"] == "span" and r["track"].startswith("worker/")
+        ]
+        assert worker_spans
+        # Worker spans were measured in other processes: distinct pids.
+        assert any("pid" in r["track"] for r in worker_spans)
