@@ -11,6 +11,7 @@ final phase the normalised baseline curves are at or above 1.
 import numpy as np
 import pytest
 
+from repro.harness import ExperimentConfig, run_experiment
 from repro.harness.figures import inference_loss_profile
 
 
@@ -48,3 +49,65 @@ def test_fig6_inference_loss_profile(benchmark, once):
     late = fedavg_ratio[-10:].mean()
     print(f"  fedavg/feddrl mean-loss ratio: early={early:.3f} late={late:.3f}")
     assert late > 0.8 * early  # FedDRL does not fall further behind
+
+
+def _adversarial_profile():
+    """Late-phase per-client loss under a byzantine minority.
+
+    Same markov-churn fleet as ``bench_robust.py``, on IID shards (robust
+    statistics assume honest updates cluster; a heterogeneous partition
+    breaks that for honest reasons — see the bench module doc).  Three
+    runs: clean mean, sign-flipped mean (undefended), sign-flipped
+    trimmed mean (defended).
+    """
+    base = ExperimentConfig(
+        dataset="mnist", partition="IID", method="fedavg",
+        n_clients=10, clients_per_round=10, scale="bench", rounds=30,
+        seed=0, latency_model="lognormal",
+        straggler_fraction=0.3, straggler_slowdown=8.0,
+        availability="markov", offline_fraction=0.2,
+        churn_rate=0.5, dropout_prob=0.1,
+    )
+    attacked = base.with_(
+        attack="sign_flip", malicious_fraction=0.2, attack_scale=2.0
+    )
+    out = {}
+    for label, cfg in (
+        ("clean", base),
+        ("undefended", attacked),
+        ("defended", attacked.with_(aggregator="trimmed_mean")),
+    ):
+        history = run_experiment(cfg).history
+        losses = history.loss_mean_series()
+        out[label] = {
+            "series": losses,
+            "late": float(np.mean(losses[-10:])),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_adversarial_inference_loss(benchmark, once):
+    """Adversarial variant: the per-client loss profile survives a 20%
+    sign-flip minority under trimmed-mean aggregation, while the
+    undefended mean degrades."""
+    out = once(benchmark, _adversarial_profile)
+
+    clean = out["clean"]["late"]
+    undefended = out["undefended"]["late"]
+    defended = out["defended"]["late"]
+    print("\nFigure 6 (adversarial) — late-phase mean per-client loss")
+    print("  normalised to the clean run; sign_flip x2, 20% malicious")
+    for label in ("clean", "undefended", "defended"):
+        late = out[label]["late"]
+        tail = "  ".join(f"{v:.3f}" for v in out[label]["series"][-5:])
+        print(f"  {label:<11} late={late:.4f} ({late / clean:.2f}x)  tail: {tail}")
+
+    # Defended profile within tolerance of clean (measured ~1.7x vs the
+    # undefended ~16x); the undefended mean clearly degrades.
+    assert defended <= 3.0 * clean
+    assert undefended >= 5.0 * clean
+    # And the defended curve still *trains*: late-phase loss below the
+    # run's own early phase, i.e. the attack does not stall progress.
+    defended_series = out["defended"]["series"]
+    assert out["defended"]["late"] < float(np.mean(defended_series[:5]))

@@ -28,6 +28,8 @@ import sys
 from repro.harness.config import (
     SCALES,
     VALID_AGGREGATIONS,
+    VALID_AGGREGATORS,
+    VALID_ATTACKS,
     VALID_AVAILABILITY,
     VALID_BACKENDS,
     VALID_DATASETS,
@@ -130,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dispatch", default="random", choices=VALID_DISPATCH,
                         help="async job dispatch among online idle clients: "
                              "uniform, or fairness (fewest jobs first)")
+    parser.add_argument("--attack", default="none", choices=VALID_ATTACKS,
+                        help="adversarial fleet: poison a seeded malicious "
+                             "subset's data (label_flip, backdoor) or their "
+                             "submitted updates (sign_flip, scale, ipm)")
+    parser.add_argument("--malicious-fraction", type=float, default=0.2,
+                        help="fraction of clients the attack compromises "
+                             "(seeded; at least one when an attack is set)")
+    parser.add_argument("--attack-scale", type=float, default=1.0,
+                        help="update-attack amplification (and backdoor "
+                             "model-replacement boost when > 1)")
+    parser.add_argument("--aggregator", default="mean", choices=VALID_AGGREGATORS,
+                        help="server combination rule: the classic weighted "
+                             "mean, or a robust defense (median, trimmed_mean, "
+                             "krum, multikrum, norm_clip)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="stream spans/metrics to a JSONL trace at PATH "
                              "(a Chrome trace and a run manifest are written "
@@ -181,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"scales:     {', '.join(sorted(SCALES))}")
         print(f"dtypes:     {', '.join(VALID_DTYPES)}")
         print(f"availability: {', '.join(VALID_AVAILABILITY)}")
+        print(f"attacks:    {', '.join(VALID_ATTACKS)}")
+        print(f"aggregators: {', '.join(VALID_AGGREGATORS)}")
         return 0
 
     try:
@@ -214,6 +232,10 @@ def main(argv: list[str] | None = None) -> int:
             dropout_prob=args.dropout_prob,
             completeness=args.completeness,
             dispatch=args.dispatch,
+            attack=args.attack,
+            malicious_fraction=args.malicious_fraction,
+            attack_scale=args.attack_scale,
+            aggregator=args.aggregator,
             trace=args.trace,
             metrics_interval=args.metrics_interval,
         )
@@ -265,6 +287,17 @@ def main(argv: list[str] | None = None) -> int:
                   f"{result.extra['connectivity_dropped']} updates lost to "
                   f"dropout, mean work fraction "
                   f"{result.extra['mean_work_fraction']:.2f}{online_s}")
+        if result.extra and "attack" in result.extra:
+            backdoor = result.extra.get("backdoor_accuracy")
+            backdoor_s = (
+                f", backdoor success {backdoor:.2f}" if backdoor is not None else ""
+            )
+            print(f"  adversarial:         attack={result.extra['attack']} "
+                  f"(malicious {result.extra['malicious_clients']}), "
+                  f"aggregator={result.extra['aggregator']}, "
+                  f"{result.extra['rejected_updates']} rejected / "
+                  f"{result.extra['clipped_updates']} clipped"
+                  f"{backdoor_s}")
         if result.extra and "trace_paths" in result.extra:
             print(f"  trace:               {result.extra['trace_paths']['trace']} "
                   f"(+ .chrome.json, .manifest.json)")

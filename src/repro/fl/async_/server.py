@@ -103,6 +103,8 @@ class AsyncFederatedServer:
         fleet: FleetSimulator | None = None,
         dispatch: str = "random",
         tracer: Tracer | None = None,
+        attack=None,
+        defense=None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -161,6 +163,16 @@ class AsyncFederatedServer:
         self.executor = executor
         self.fleet = fleet
         self.dispatch = dispatch
+        # Adversarial fleet (repro.fl.robust): `attack` perturbs malicious
+        # arrivals relative to the weights their job was dispatched
+        # against (so it bites identically under weight- and delta-form
+        # mixing); `defense` replaces the buffer's weighted mean with a
+        # robust combination rule.  Both None on the historical path.
+        self.attack = attack
+        self.defense = defense
+        self.backdoor_test = None
+        if attack is not None and test_set is not None:
+            self.backdoor_test = attack.backdoor_test_set(test_set)
         # Dispatch choices are consumed strictly in event order, so one
         # sequential stream is deterministic under every backend.
         self._dispatch_rng = np.random.default_rng(config.seed + 29)
@@ -323,32 +335,80 @@ class AsyncFederatedServer:
         base = np.asarray(self.strategy.impact_factors(updates, agg_idx), dtype=float)
         t1 = time.perf_counter()
         alphas = base * factors
-        # FedAsync's adaptive alpha, generalized: the step size is
-        # server_mix scaled with the buffer's average staleness factor
-        # (base sums to 1, so the weighted mean is just alphas.sum()).
-        mix = min(1.0, self.server_mix * float(alphas.sum()))
-        if self.delta_mix:
-            # FedBuff's delta form: w <- w + eta * sum_i a_i (w_i - w_i^0),
-            # where w_i^0 is the model version the job was dispatched
-            # against.  Staleness decays the step through `mix` and the
-            # normalized per-update weights.
-            normalized = np.asarray(alphas, dtype=float)
-            normalized = normalized / normalized.sum()
-            deltas = np.stack([
-                u.weights - job.global_weights for job, u, _, _ in buffer
-            ])
-            combined_delta = normalized.astype(deltas.dtype, copy=False) @ deltas
-            self.global_weights = self.global_weights + mix * combined_delta
+        total = float(alphas.sum())
+        agg_info = None
+        if not total > 0:
+            # Staleness decay (or a defense upstream) zeroed every update
+            # in the window: skip the mix step entirely — normalizing a
+            # zero-mass vector would NaN the arena.  The flush is still
+            # recorded (version advances, the window tiles the timeline).
+            mix = 0.0
         else:
-            combined = combine_updates(updates, alphas, normalize=True)
-            self.global_weights = (1.0 - mix) * self.global_weights + mix * combined
+            # FedAsync's adaptive alpha, generalized: the step size is
+            # server_mix scaled with the buffer's average staleness factor
+            # (base sums to 1, so the weighted mean is just alphas.sum()).
+            mix = min(1.0, self.server_mix * total)
+            if self.defense is not None:
+                # Robust rules act on deltas: the job's dispatch weights
+                # anchor the delta form, the current global weights the
+                # weight form (mixing toward w + combined is exactly the
+                # (1-mix)·w + mix·combined step of the mean path).
+                if self.delta_mix:
+                    rows = np.stack([
+                        u.weights - job.global_weights for job, u, _, _ in buffer
+                    ])
+                else:
+                    rows = np.stack([u.weights for u in updates]) - self.global_weights
+                # One vote per client per window: a fast client can land
+                # several updates in one buffer, so row-wise statistics
+                # would let a 20%-malicious fleet occupy half a flush
+                # simply by responding quickly.  Coalesce each client's
+                # rows (alpha-weighted, summing its alpha mass) so every
+                # robust estimator sees one voice per participant.  For
+                # the mean rule this is a no-op by associativity.
+                grouped: dict[int, list[int]] = {}
+                for pos, u in enumerate(updates):
+                    grouped.setdefault(u.client_id, []).append(pos)
+                defense_clients = list(grouped)
+                voice_rows = []
+                voice_alphas = []
+                for positions in grouped.values():
+                    a = alphas[positions]
+                    mass = float(a.sum())
+                    if mass > 0:
+                        voice_rows.append(
+                            (a / mass).astype(rows.dtype, copy=False)
+                            @ rows[positions]
+                        )
+                    else:
+                        voice_rows.append(rows[positions].mean(axis=0))
+                    voice_alphas.append(mass)
+                combined, agg_info = self.defense.combine(
+                    np.stack(voice_rows), np.asarray(voice_alphas)
+                )
+                self.global_weights = self.global_weights + mix * combined
+            elif self.delta_mix:
+                # FedBuff's delta form: w <- w + eta * sum_i a_i (w_i - w_i^0),
+                # where w_i^0 is the model version the job was dispatched
+                # against.  Staleness decays the step through `mix` and the
+                # normalized per-update weights.
+                normalized = np.asarray(alphas, dtype=float)
+                normalized = normalized / normalized.sum()
+                deltas = np.stack([
+                    u.weights - job.global_weights for job, u, _, _ in buffer
+                ])
+                combined_delta = normalized.astype(deltas.dtype, copy=False) @ deltas
+                self.global_weights = self.global_weights + mix * combined_delta
+            else:
+                combined = combine_updates(updates, alphas, normalize=True)
+                self.global_weights = (1.0 - mix) * self.global_weights + mix * combined
         t2 = time.perf_counter()
         self.strategy.on_round_end(updates, agg_idx)
 
         record = RoundRecord(
             round_idx=agg_idx,
             participants=[u.client_id for u in updates],
-            impact_factors=alphas / alphas.sum(),
+            impact_factors=alphas / total if total > 0 else np.zeros_like(alphas),
             client_losses_before=np.array([u.loss_before for u in updates]),
             client_losses_after=np.array([u.loss_after for u in updates]),
             client_sizes=np.array([u.n_samples for u in updates]),
@@ -357,6 +417,18 @@ class AsyncFederatedServer:
             sim_makespan_s=now - last_agg_t,
             staleness=stalenesses,
             staleness_factors=[float(f) for f in factors],
+            malicious_selected=(
+                [u.client_id for u in updates if self.attack.is_malicious(u.client_id)]
+                if self.attack is not None else []
+            ),
+            rejected_updates=(
+                [defense_clients[i] for i in agg_info.rejected]
+                if agg_info is not None else []
+            ),
+            clipped_updates=(
+                [defense_clients[i] for i in agg_info.clipped]
+                if agg_info is not None else []
+            ),
         )
         if self.tracer is not None:
             self._trace_aggregation(record, now, last_agg_t, (w0, t0, t1, t2))
@@ -397,6 +469,11 @@ class AsyncFederatedServer:
         m = tr.metrics
         m.inc("sim.aggregations")
         m.inc("sim.updates.aggregated", len(record.participants))
+        if self.attack is not None:
+            m.inc("sim.attack.malicious_aggregated", len(record.malicious_selected))
+        if self.defense is not None:
+            m.inc("sim.defense.updates_rejected", len(record.rejected_updates))
+            m.inc("sim.defense.updates_clipped", len(record.clipped_updates))
         m.observe("sim.window.span_s", record.sim_makespan_s)
         for s in record.staleness or ():
             m.observe("sim.staleness", s)
@@ -443,6 +520,10 @@ class AsyncFederatedServer:
         record.test_loss = evaluate_loss(
             self.model, self._loss, self.test_set.x, self.test_set.y
         )
+        if self.backdoor_test is not None:
+            record.backdoor_accuracy = top1_accuracy(
+                self.model, self.backdoor_test.x, self.backdoor_test.y
+            )
 
     # -- the event loop ------------------------------------------------------
     def run(self) -> History:
@@ -490,6 +571,12 @@ class AsyncFederatedServer:
                 self.dropped_arrivals += 1
             else:
                 update = self._materialize(job, in_flight, computed)
+                if self.attack is not None:
+                    # The upload is poisoned in transit, relative to the
+                    # weights this job was dispatched against.
+                    update = self.attack.perturb(
+                        update, job.job_idx, job.global_weights
+                    )
             del in_flight[job.job_idx]
             idle.add(job.client_id)
 

@@ -104,6 +104,15 @@ class RoundRecord:
     wait_s: float = 0.0
     connectivity_dropped: list[int] = field(default_factory=list)
     work_fractions: dict[int, float] = field(default_factory=dict)
+    # Adversarial-fleet fields (empty / None without an attack or defense,
+    # see repro.fl.robust): malicious clients among the aggregated
+    # participants, updates the robust aggregator rejected (Krum family)
+    # or norm-clipped, and accuracy on the backdoor attack-task test set
+    # (the attack success rate).
+    malicious_selected: list[int] = field(default_factory=list)
+    rejected_updates: list[int] = field(default_factory=list)
+    clipped_updates: list[int] = field(default_factory=list)
+    backdoor_accuracy: float | None = None
 
 
 @dataclass
@@ -251,6 +260,34 @@ class History:
             return 0.0
         return float(np.mean([e.staleness for e in self.events]))
 
+    # -- adversarial-fleet views ----------------------------------------------
+    def backdoor_accuracy_series(self) -> list[tuple[int, float]]:
+        """(round, backdoor-task accuracy) per evaluated record — the
+        attack success rate over training (backdoor attacks only)."""
+        return [
+            (r.round_idx, r.backdoor_accuracy)
+            for r in self.records
+            if r.backdoor_accuracy is not None
+        ]
+
+    def final_backdoor_accuracy(self) -> float | None:
+        """The last evaluated attack success rate, or None (no backdoor)."""
+        series = self.backdoor_accuracy_series()
+        return series[-1][1] if series else None
+
+    def total_rejected(self) -> int:
+        """Updates the robust aggregator rejected outright (Krum family)."""
+        return sum(len(r.rejected_updates) for r in self.records)
+
+    def total_clipped(self) -> int:
+        """Updates whose delta norm the robust aggregator clipped."""
+        return sum(len(r.clipped_updates) for r in self.records)
+
+    def total_malicious_aggregated(self) -> int:
+        """Malicious participations that reached aggregation (a client
+        counts once per round/flush it was aggregated in)."""
+        return sum(len(r.malicious_selected) for r in self.records)
+
 
 class FederatedSimulation:
     """Synchronous FL over a fixed client population."""
@@ -267,6 +304,8 @@ class FederatedSimulation:
         clock: VirtualClock | None = None,
         fleet: FleetSimulator | None = None,
         tracer: Tracer | None = None,
+        attack=None,
+        defense=None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -294,6 +333,15 @@ class FederatedSimulation:
         self.executor = executor
         self.clock = clock
         self.fleet = fleet
+        # Adversarial fleet (repro.fl.robust): `attack` perturbs malicious
+        # clients' submitted updates (their data was already poisoned at
+        # build time); `defense` replaces the weighted mean with a robust
+        # combination rule.  Both None on the historical bit-exact path.
+        self.attack = attack
+        self.defense = defense
+        self.backdoor_test = None
+        if attack is not None and test_set is not None:
+            self.backdoor_test = attack.backdoor_test_set(test_set)
         # Observability is opt-in: tracer=None keeps every hot-path call
         # site at one `is not None` branch and allocates nothing.
         self.tracer = tracer
@@ -440,6 +488,13 @@ class FederatedSimulation:
         participants = self.sample_participants(round_idx, available=pool)
         budgets = self._fleet_budgets(round_idx, participants)
         updates = self.collect_updates(participants, round_idx, budgets)
+        if self.attack is not None:
+            # The upload leaves the device poisoned; timing is unchanged
+            # (a malicious client looks like any other on the wire).
+            updates = [
+                self.attack.perturb(u, round_idx, self.global_weights)
+                for u in updates
+            ]
         updates, timing, batches = self._observe_clock(
             round_idx, participants, updates, budgets
         )
@@ -455,7 +510,16 @@ class FederatedSimulation:
         t0 = time.perf_counter()
         alphas = self.strategy.impact_factors(updates, round_idx)
         t1 = time.perf_counter()
-        self.global_weights = combine_updates(updates, alphas)
+        agg_info = None
+        if self.defense is None:
+            self.global_weights = combine_updates(updates, alphas)
+        else:
+            # Robust rules act on deltas relative to the round's global
+            # weights (translation-equivariant for median/Krum, essential
+            # for norm clipping); the combined delta is re-anchored here.
+            deltas = np.stack([u.weights for u in updates]) - self.global_weights
+            combined, agg_info = self.defense.combine(deltas, alphas)
+            self.global_weights = self.global_weights + combined
         t2 = time.perf_counter()
         self.strategy.on_round_end(updates, round_idx)
 
@@ -481,6 +545,18 @@ class FederatedSimulation:
             wait_s=wait_s,
             connectivity_dropped=conn_dropped,
             work_fractions=work_fractions,
+            malicious_selected=(
+                [cid for cid in kept if self.attack.is_malicious(cid)]
+                if self.attack is not None else []
+            ),
+            rejected_updates=(
+                [updates[i].client_id for i in agg_info.rejected]
+                if agg_info is not None else []
+            ),
+            clipped_updates=(
+                [updates[i].client_id for i in agg_info.clipped]
+                if agg_info is not None else []
+            ),
         )
         if self.tracer is not None:
             self._trace_round(record, timing, sim0, batches, (w0, t0, t1, t2))
@@ -507,6 +583,12 @@ class FederatedSimulation:
         record.test_loss = evaluate_loss(
             self.model, self._loss, self.test_set.x, self.test_set.y
         )
+        if self.backdoor_test is not None:
+            # Attack-task accuracy: how often the triggered samples land
+            # on the attacker's target class (the attack success rate).
+            record.backdoor_accuracy = top1_accuracy(
+                self.model, self.backdoor_test.x, self.backdoor_test.y
+            )
 
     def _trace_round(
         self,
@@ -536,6 +618,11 @@ class FederatedSimulation:
         m.inc("sim.updates.aggregated", len(record.participants))
         m.inc("sim.updates.dropped_deadline", len(record.dropped_clients))
         m.inc("sim.updates.dropped_connectivity", len(record.connectivity_dropped))
+        if self.attack is not None:
+            m.inc("sim.attack.malicious_aggregated", len(record.malicious_selected))
+        if self.defense is not None:
+            m.inc("sim.defense.updates_rejected", len(record.rejected_updates))
+            m.inc("sim.defense.updates_clipped", len(record.clipped_updates))
         if record.online_count is not None:
             m.set_gauge("sim.fleet.online", record.online_count)
         if timing is None or sim0 is None:

@@ -31,7 +31,10 @@ def combine_updates(
     mass and normalizes it here, inside the timed hot path.
     """
     if not updates:
-        raise ValueError("cannot aggregate an empty update set")
+        raise ValueError(
+            "cannot aggregate an empty update set — callers must skip the "
+            "aggregation step when every update was dropped or rejected"
+        )
     alphas = np.asarray(alphas, dtype=float)
     if alphas.shape != (len(updates),):
         raise ValueError(
@@ -41,8 +44,11 @@ def combine_updates(
         raise ValueError("impact factors must be non-negative")
     total = alphas.sum()
     if normalize:
-        if total <= 0:
-            raise ValueError("impact factors must have positive total mass")
+        if not total > 0:
+            raise ValueError(
+                f"impact factors must have positive total mass (got {total}) — "
+                "normalizing would divide by zero; skip the aggregation instead"
+            )
         alphas = alphas / total
     elif not np.isclose(total, 1.0, atol=1e-6):
         raise ValueError(f"impact factors must sum to 1 (got {total})")

@@ -23,6 +23,7 @@ from repro.fl.async_ import (
     DISPATCH_POLICIES,
     STALENESS_POLICIES,
 )
+from repro.fl.robust import ATTACK_MODELS, ROBUST_AGGREGATORS
 from repro.fleet import AVAILABILITY_MODELS
 from repro.nn.dtypes import SUPPORTED_DTYPES
 from repro.runtime import BACKENDS, DEADLINE_POLICIES, LATENCY_MODELS
@@ -43,6 +44,11 @@ VALID_STALENESS = STALENESS_POLICIES
 # async engine's dispatch policies.
 VALID_AVAILABILITY = AVAILABILITY_MODELS
 VALID_DISPATCH = DISPATCH_POLICIES
+# Adversarial-fleet vocabularies (repro.fl.robust): attack models and
+# robust aggregation rules; "none" = honest fleet, "mean" = the classic
+# impact-factor-weighted mean.
+VALID_ATTACKS = ("none", *ATTACK_MODELS)
+VALID_AGGREGATORS = ROBUST_AGGREGATORS
 
 
 @dataclass(frozen=True)
@@ -156,6 +162,18 @@ class ExperimentConfig:
     dropout_prob: float = 0.0
     completeness: float = 1.0
     dispatch: str = "random"
+    # Adversarial fleet (repro.fl.robust): `attack` marks a seeded
+    # malicious_fraction of clients malicious and poisons their data
+    # (label_flip, backdoor) or their submitted updates (sign_flip,
+    # scale, ipm); attack_scale amplifies update perturbations (and, for
+    # backdoor, boosts the poisoned upload when > 1).  `aggregator`
+    # selects the server's combination rule — "mean" keeps the classic
+    # weighted mean, the rest are robust defenses that compose with
+    # staleness decay and server_mix="delta".
+    attack: str = "none"
+    malicious_fraction: float = 0.2
+    attack_scale: float = 1.0
+    aggregator: str = "mean"
     # Observability (repro.obs): trace=PATH streams spans/metrics to a
     # JSONL trace (plus a Chrome trace and a run manifest next to it);
     # None disables tracing entirely (no-op at every call site).
@@ -244,6 +262,7 @@ class ExperimentConfig:
         elif self.server_mix is not None and not 0.0 < self.server_mix <= 1.0:
             raise ValueError("server_mix must be in (0, 1] when given")
         self._validate_fleet()
+        self._validate_robust()
         if self.aggregation != "sync":
             if self.method == "singleset":
                 raise ValueError(
@@ -315,6 +334,31 @@ class ExperimentConfig:
                 "K=buffer_size and buffers fill from whoever arrives)"
             )
 
+    def _validate_robust(self) -> None:
+        if self.attack not in VALID_ATTACKS:
+            raise ValueError(f"attack must be one of {VALID_ATTACKS}")
+        if self.aggregator not in VALID_AGGREGATORS:
+            raise ValueError(f"aggregator must be one of {VALID_AGGREGATORS}")
+        if not 0.0 <= self.malicious_fraction < 0.5:
+            raise ValueError(
+                "malicious_fraction must be in [0, 0.5) — no robust "
+                "aggregator survives a malicious majority"
+            )
+        if self.attack_scale <= 0:
+            raise ValueError("attack_scale must be positive")
+        if self.attack != "none" and self.malicious_fraction == 0.0:
+            raise ValueError(
+                "an attack needs a positive malicious_fraction — "
+                "nobody is compromised at 0.0"
+            )
+        if self.method == "singleset" and (
+            self.attack != "none" or self.aggregator != "mean"
+        ):
+            raise ValueError(
+                "singleset is centralized training — attacks and robust "
+                "aggregation apply to the federated engines only"
+            )
+
     # -- resolved views ------------------------------------------------------
     @property
     def fleet_active(self) -> bool:
@@ -324,6 +368,11 @@ class ExperimentConfig:
             or self.dropout_prob > 0.0
             or self.completeness < 1.0
         )
+
+    @property
+    def robust_active(self) -> bool:
+        """True when an attack or a non-mean aggregation rule is configured."""
+        return self.attack != "none" or self.aggregator != "mean"
 
     @property
     def preset(self) -> ScalePreset:

@@ -41,6 +41,18 @@ def history_to_dict(history: History) -> dict:
         "online_series": [[r, int(n)] for r, n in history.online_series()],
         "total_connectivity_dropped": history.total_connectivity_dropped(),
         "mean_work_fraction": history.mean_work_fraction(),
+        # Adversarial fleet (empty/zero on honest, undefended runs).
+        "backdoor_accuracy_series": [
+            [r, float(a)] for r, a in history.backdoor_accuracy_series()
+        ],
+        "rejected_series": [
+            [r.round_idx, len(r.rejected_updates)]
+            for r in history.records
+            if r.rejected_updates
+        ],
+        "total_rejected_updates": history.total_rejected(),
+        "total_clipped_updates": history.total_clipped(),
+        "total_malicious_aggregated": history.total_malicious_aggregated(),
         # Async engine (empty/zero for synchronous runs).
         "mean_staleness": history.mean_staleness(),
         "events": [

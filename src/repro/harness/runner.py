@@ -13,6 +13,7 @@ from repro.data.partition import get_partitioner
 from repro.data.synthetic import cifar100_like, fashion_like, mnist_like
 from repro.fl.async_ import AsyncFederatedServer, get_staleness_weighting
 from repro.fl.client import make_clients
+from repro.fl.robust import AttackModel, RobustAggregator
 from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
 from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
@@ -226,6 +227,49 @@ def build_fleet(cfg: ExperimentConfig, clients) -> FleetSimulator | None:
     )
 
 
+def build_attack(cfg: ExperimentConfig) -> AttackModel | None:
+    """The adversarial scenario, or None for an honest fleet.
+
+    The attack derives everything from the experiment seed through the
+    dedicated ``STREAM_MALICIOUS`` / ``STREAM_ATTACK`` streams, so who is
+    compromised and how their updates are perturbed is bit-identical
+    across execution backends.
+    """
+    if cfg.attack == "none":
+        return None
+    return AttackModel(
+        cfg.attack,
+        n_clients=cfg.n_clients,
+        malicious_fraction=cfg.malicious_fraction,
+        seed=cfg.seed,
+        scale=cfg.attack_scale,
+    )
+
+
+def build_defense(cfg: ExperimentConfig) -> RobustAggregator | None:
+    """The robust aggregation rule, or None for the classic weighted mean
+    (None keeps the engines on their historical bit-exact path).
+
+    The defender's assumed byzantine fraction — Krum's ``f`` and the
+    trimmed mean's trim depth — follows the configured threat level when
+    an attack is active, and a conservative 20% otherwise, with a 1.5x
+    headroom factor: under availability churn the *per-round* malicious
+    fraction fluctuates above the fleet-wide rate (two compromised
+    clients in a five-strong round is 40%, not 20%), and a trim depth
+    budgeted on the fleet average lets a coordinated minority slip one
+    boosted update into the kept band.
+    """
+    if cfg.aggregator == "mean":
+        return None
+    assumed = cfg.malicious_fraction if cfg.attack != "none" else 0.2
+    budget = min(0.45, 1.5 * assumed)
+    return RobustAggregator(
+        cfg.aggregator,
+        trim_fraction=budget,
+        byzantine_fraction=budget,
+    )
+
+
 def build_fl_config(cfg: ExperimentConfig) -> FLConfig:
     return FLConfig(
         rounds=cfg.resolved("rounds"),
@@ -257,6 +301,12 @@ def build_simulation(
     clients = make_clients(train_set, parts, seed=cfg.seed + 11)
     model_factory = build_model_factory(cfg, train_set)
     strategy = build_strategy(cfg)
+    attack = build_attack(cfg)
+    if attack is not None:
+        # Data attacks poison the malicious shards before any executor
+        # replicates the client list; update attacks leave data untouched.
+        attack.poison_clients(clients)
+    defense = build_defense(cfg)
     # executor=None lets the simulation build its serial default, which
     # reuses the evaluation model as its workspace; the simulation owns
     # whichever executor it gets and releases it in close().
@@ -277,11 +327,13 @@ def build_simulation(
             fleet=fleet,
             dispatch=cfg.dispatch,
             tracer=tracer,
+            attack=attack,
+            defense=defense,
         )
     return FederatedSimulation(
         clients, test_set, model_factory, strategy, build_fl_config(cfg),
         executor=executor, clock=build_clock(cfg), fleet=fleet,
-        tracer=tracer,
+        tracer=tracer, attack=attack, defense=defense,
     )
 
 
@@ -349,6 +401,19 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
             })
             if cfg.aggregation == "sync":
                 extra["mean_online"] = history.mean_online()
+    if cfg.robust_active:
+        extra = dict(extra or {})
+        extra.update({
+            "attack": cfg.attack,
+            "aggregator": cfg.aggregator,
+            "malicious_clients": sorted(sim.attack.malicious) if sim.attack else [],
+            "malicious_aggregated": history.total_malicious_aggregated(),
+            "rejected_updates": history.total_rejected(),
+            "clipped_updates": history.total_clipped(),
+        })
+        backdoor = history.final_backdoor_accuracy()
+        if backdoor is not None:
+            extra["backdoor_accuracy"] = backdoor
     if tracer is not None:
         paths = write_run_artifacts(tracer, cfg.trace, config=cfg)
         extra = dict(extra or {})

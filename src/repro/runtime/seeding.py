@@ -22,16 +22,21 @@ import numpy as np
 
 # Fixed per-purpose stream tags so independent consumers (batch shuffling
 # vs. simulated-latency jitter vs. forward-time randomness such as Dropout
-# masks vs. the fleet simulator's behavioral draws) never share a stream
-# for the same cell.  Fleet streams key their first coordinate differently:
-# availability uses the *time slot*, dropout and completeness the round
-# (synchronous) or job (asynchronous) index.
+# masks vs. the fleet simulator's behavioral draws vs. the adversarial
+# fleet's poisoning draws) never share a stream for the same cell.  Fleet
+# streams key their first coordinate differently: availability uses the
+# *time slot*, dropout and completeness the round (synchronous) or job
+# (asynchronous) index.  STREAM_ATTACK keys on the round/job index like
+# dropout; STREAM_MALICIOUS is a *static* stream (no time coordinate) —
+# who is malicious is a property of the experiment, not of a round.
 STREAM_BATCHES = 0
 STREAM_LATENCY = 1
 STREAM_FORWARD = 2
 STREAM_AVAILABILITY = 3
 STREAM_DROPOUT = 4
 STREAM_COMPLETENESS = 5
+STREAM_ATTACK = 6
+STREAM_MALICIOUS = 7
 
 
 def client_round_seed(

@@ -1,0 +1,106 @@
+"""Cross-backend bit-identity of attacked + defended runs.
+
+The acceptance bar for the adversarial fleet: every poisoning draw is
+keyed through the seeding scheme and every defense is a deterministic
+function of its inputs, so an attacked, defended experiment produces the
+same arena bit-for-bit on the serial / thread / process backends — for
+both the synchronous engine and the FedBuff flush path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import build_simulation
+from repro.nn.dtypes import default_dtype
+
+BACKENDS = ("serial", "thread", "process")
+
+SYNC_ROBUST = dict(
+    method="fedavg", scale="ci", n_clients=6, clients_per_round=6, rounds=3,
+    latency_model="lognormal", availability="markov", dropout_prob=0.1,
+    attack="sign_flip", malicious_fraction=0.2, attack_scale=4.0,
+    aggregator="trimmed_mean",
+)
+FEDBUFF_ROBUST = dict(
+    method="fedavg", scale="ci", n_clients=6, clients_per_round=6, rounds=3,
+    latency_model="lognormal", aggregation="fedbuff", buffer_size=3,
+    staleness="hinge", server_mix="delta",
+    attack="backdoor", malicious_fraction=0.2, attack_scale=5.0,
+    aggregator="krum",
+)
+
+
+def _run(cfg_kwargs, backend):
+    cfg = ExperimentConfig(**cfg_kwargs, backend=backend, workers=2)
+    with default_dtype(cfg.dtype):
+        with build_simulation(cfg) as sim:
+            history = sim.run()
+            final = np.array(sim.global_weights, copy=True)
+    return final, history
+
+
+def _robust_view(history):
+    """The adversarial projection of a run: everything the attack and
+    defense touched, in aggregation order."""
+    return [
+        (
+            r.round_idx,
+            tuple(r.participants),
+            tuple(r.malicious_selected),
+            tuple(r.rejected_updates),
+            tuple(r.clipped_updates),
+            r.test_accuracy,
+            r.backdoor_accuracy,
+        )
+        for r in history.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def sync_runs():
+    return {b: _run(SYNC_ROBUST, b) for b in BACKENDS}
+
+
+@pytest.fixture(scope="module")
+def fedbuff_runs():
+    return {b: _run(FEDBUFF_ROBUST, b) for b in BACKENDS}
+
+
+class TestSyncRobustDeterminism:
+    def test_final_weights_bit_identical(self, sync_runs):
+        w = {b: final for b, (final, _) in sync_runs.items()}
+        np.testing.assert_array_equal(w["serial"], w["thread"])
+        np.testing.assert_array_equal(w["serial"], w["process"])
+
+    def test_robust_records_identical(self, sync_runs):
+        views = {b: _robust_view(h) for b, (_, h) in sync_runs.items()}
+        assert views["serial"] == views["thread"] == views["process"]
+
+    def test_attack_actually_engaged(self, sync_runs):
+        _, history = sync_runs["serial"]
+        assert any(r.malicious_selected for r in history.records)
+
+
+class TestFedbuffRobustDeterminism:
+    def test_final_weights_bit_identical(self, fedbuff_runs):
+        w = {b: final for b, (final, _) in fedbuff_runs.items()}
+        np.testing.assert_array_equal(w["serial"], w["thread"])
+        np.testing.assert_array_equal(w["serial"], w["process"])
+
+    def test_robust_records_identical(self, fedbuff_runs):
+        views = {b: _robust_view(h) for b, (_, h) in fedbuff_runs.items()}
+        assert views["serial"] == views["thread"] == views["process"]
+
+    def test_defense_actually_engaged(self, fedbuff_runs):
+        _, history = fedbuff_runs["serial"]
+        # Krum rejects all but one update per flush.
+        assert history.total_rejected() > 0
+
+    def test_backdoor_task_tracked(self, fedbuff_runs):
+        _, history = fedbuff_runs["serial"]
+        series = history.backdoor_accuracy_series()
+        assert series, "backdoor attack must produce a backdoor accuracy series"
+        assert all(0.0 <= a <= 1.0 for _, a in series)

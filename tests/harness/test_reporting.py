@@ -93,6 +93,41 @@ class TestHistoryToDict:
         assert len(d["makespan_series"]) == len(h.records)
 
 
+@pytest.fixture(scope="module")
+def robust_result():
+    cfg = ExperimentConfig(
+        method="fedavg", attack="backdoor", malicious_fraction=0.2,
+        attack_scale=3.0, aggregator="krum", **FAST,
+    ).with_(rounds=3)
+    return run_experiment(cfg)
+
+
+class TestRobustRoundTrip:
+    def test_robust_fields_round_trip(self, robust_result):
+        h = robust_result.history
+        d = json.loads(json.dumps(history_to_dict(h)))
+        assert d["backdoor_accuracy_series"] == [
+            [r, a] for r, a in h.backdoor_accuracy_series()
+        ]
+        assert len(d["backdoor_accuracy_series"]) == len(h.records)
+        assert d["total_rejected_updates"] == h.total_rejected()
+        assert d["total_rejected_updates"] > 0  # krum rejects every round
+        assert d["total_clipped_updates"] == h.total_clipped()
+        assert d["total_malicious_aggregated"] == h.total_malicious_aggregated()
+        assert d["rejected_series"] == [
+            [r.round_idx, len(r.rejected_updates)]
+            for r in h.records if r.rejected_updates
+        ]
+
+    def test_honest_run_has_empty_robust_fields(self, fed_result):
+        d = history_to_dict(fed_result.history)
+        assert d["backdoor_accuracy_series"] == []
+        assert d["rejected_series"] == []
+        assert d["total_rejected_updates"] == 0
+        assert d["total_clipped_updates"] == 0
+        assert d["total_malicious_aggregated"] == 0
+
+
 class TestResultToDict:
     def test_includes_config(self, fed_result):
         d = result_to_dict(fed_result)

@@ -3,10 +3,17 @@
 import numpy as np
 
 from repro.runtime.seeding import (
+    STREAM_ATTACK,
+    STREAM_AVAILABILITY,
     STREAM_BATCHES,
+    STREAM_COMPLETENESS,
+    STREAM_DROPOUT,
+    STREAM_FORWARD,
     STREAM_LATENCY,
+    STREAM_MALICIOUS,
     client_round_rng,
     client_round_seed,
+    client_static_rng,
 )
 
 
@@ -46,3 +53,61 @@ class TestClientRoundRng:
     def test_seed_sequence_spawn_key(self):
         ss = client_round_seed(5, 2, 9)
         assert ss.spawn_key == (2, 9, STREAM_BATCHES)
+
+
+class TestAdversarialStreams:
+    """The attack streams obey the same purity contract as the rest: every
+    adversarial draw is a pure function of its cell, so attacked runs are
+    bit-identical across execution backends."""
+
+    def test_stream_tags_distinct(self):
+        tags = [
+            STREAM_BATCHES, STREAM_LATENCY, STREAM_FORWARD,
+            STREAM_AVAILABILITY, STREAM_DROPOUT, STREAM_COMPLETENESS,
+            STREAM_ATTACK, STREAM_MALICIOUS,
+        ]
+        assert len(set(tags)) == len(tags)
+
+    def test_attack_stream_pure_per_cell(self):
+        a = client_round_rng(0, 4, 2, STREAM_ATTACK).standard_normal(16)
+        b = client_round_rng(0, 4, 2, STREAM_ATTACK).standard_normal(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_attack_stream_independent_of_other_streams(self):
+        """Draining every other stream for the same cell must not perturb
+        the attack stream (and vice versa)."""
+        fresh = client_round_rng(0, 4, 2, STREAM_ATTACK).standard_normal(8)
+        for stream in (STREAM_BATCHES, STREAM_LATENCY, STREAM_DROPOUT):
+            client_round_rng(0, 4, 2, stream).random(32)
+        again = client_round_rng(0, 4, 2, STREAM_ATTACK).standard_normal(8)
+        np.testing.assert_array_equal(fresh, again)
+
+    def test_attack_stream_distinct_from_siblings(self):
+        draws = {
+            stream: tuple(client_round_rng(0, 1, 1, stream).random(4))
+            for stream in (STREAM_BATCHES, STREAM_DROPOUT, STREAM_ATTACK)
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_malicious_stream_is_static(self):
+        """The malicious set has no time coordinate: the static two-element
+        spawn key cannot collide with any (round, client, stream) cell."""
+        a = client_static_rng(0, 0, STREAM_MALICIOUS).random(8)
+        b = client_static_rng(0, 0, STREAM_MALICIOUS).random(8)
+        np.testing.assert_array_equal(a, b)
+        timed = client_round_rng(0, 0, 0, STREAM_MALICIOUS).random(8)
+        assert not np.array_equal(a, timed)
+
+    def test_malicious_stream_distinct_from_static_siblings(self):
+        a = client_static_rng(0, 3, STREAM_MALICIOUS).random(4)
+        b = client_static_rng(0, 3, STREAM_ATTACK).random(4)
+        c = client_static_rng(0, 3, STREAM_AVAILABILITY).random(4)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_malicious_draw_varies_with_seed(self):
+        draws = {
+            tuple(client_static_rng(s, 0, STREAM_MALICIOUS).random(4))
+            for s in range(6)
+        }
+        assert len(draws) == 6
