@@ -153,6 +153,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-interval", type=float, default=0.0,
                         help="snapshot the metrics registry into the trace "
                              "every N simulated seconds (needs --trace)")
+    parser.add_argument("--fault-crash", type=float, default=0.0,
+                        help="per-(round, client) probability the first "
+                             "attempt crashes its worker (seeded, recovered "
+                             "bit-identically)")
+    parser.add_argument("--fault-exception", type=float, default=0.0,
+                        help="per-cell probability of an injected task error")
+    parser.add_argument("--fault-transient", type=float, default=0.0,
+                        help="per-cell probability of a transient failure "
+                             "that clears on retry")
+    parser.add_argument("--fault-hang", type=float, default=0.0,
+                        help="per-cell probability of an injected hang")
+    parser.add_argument("--fault-hang-s", type=float, default=0.05,
+                        help="wall seconds an injected hang stalls before "
+                             "raising")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task timeout in wall seconds for pooled "
+                             "backends (default: wait forever)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="bounded per-task retry budget")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="atomically snapshot full run state to PATH "
+                             "(kill-safe; see --checkpoint-every / --resume)")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        help="snapshot every N rounds (sync) or aggregation "
+                             "flushes (async); needs --checkpoint")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="restore run state from a snapshot and continue "
+                             "(bit-identical to an uninterrupted run)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable result")
     parser.add_argument("--list", action="store_true",
@@ -238,6 +266,16 @@ def main(argv: list[str] | None = None) -> int:
             aggregator=args.aggregator,
             trace=args.trace,
             metrics_interval=args.metrics_interval,
+            fault_crash_prob=args.fault_crash,
+            fault_exception_prob=args.fault_exception,
+            fault_transient_prob=args.fault_transient,
+            fault_hang_prob=args.fault_hang,
+            fault_hang_s=args.fault_hang_s,
+            task_timeout_s=args.task_timeout,
+            max_retries=args.max_retries,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
     except ValueError as err:
         # Cross-flag constraints (K <= N, drop needs a deadline, ...) live
@@ -245,7 +283,15 @@ def main(argv: list[str] | None = None) -> int:
         # during the run, keep their tracebacks.
         print(f"python -m repro: error: {err}", file=sys.stderr)
         return 2
-    result = run_experiment(cfg)
+    try:
+        result = run_experiment(cfg)
+    except (OSError, ValueError) as err:
+        if cfg.resume:
+            # A missing/corrupt/mismatched snapshot is a user-input error,
+            # not a crash: report it CLI-style like the config checks above.
+            print(f"python -m repro: error: --resume: {err}", file=sys.stderr)
+            return 2
+        raise
 
     if args.json:
         payload = {
@@ -256,11 +302,16 @@ def main(argv: list[str] | None = None) -> int:
             "wall_time_s": result.wall_time_s,
         }
         if result.history is not None:
+            from repro.harness.reporting import history_digest
+
             payload["accuracy_series"] = result.history.accuracy_series()
             payload["mean_impact_ms"] = result.history.mean_impact_time() * 1e3
             payload["mean_aggregation_ms"] = result.history.mean_aggregation_time() * 1e3
             payload["backend"] = args.backend
             payload["dtype"] = args.dtype
+            # The fault-tolerance comparison surface: equal hashes mean
+            # bit-identical training trajectories.
+            payload["history_hash"] = history_digest(result.history)
             if args.aggregation != "sync":
                 payload["accuracy_vs_time"] = result.history.accuracy_vs_time()
         if result.extra:
@@ -298,6 +349,22 @@ def main(argv: list[str] | None = None) -> int:
                   f"{result.extra['rejected_updates']} rejected / "
                   f"{result.extra['clipped_updates']} clipped"
                   f"{backdoor_s}")
+        if result.extra and "faults" in result.extra:
+            f = result.extra["faults"]
+            injected = ", ".join(
+                f"{k}:{v}" for k, v in sorted(f["injected"].items())
+            ) or "none"
+            degraded_s = ", degraded to serial" if f["degraded"] else ""
+            print(f"  faults:              injected {injected} "
+                  f"({f['sim_retries']} retries, "
+                  f"{f['sim_backoff_s']:.1f}s simulated backoff, "
+                  f"{f['pool_rebuilds']} pool rebuilds{degraded_s})")
+        if result.extra and "checkpoint" in result.extra:
+            c = result.extra["checkpoint"]
+            print(f"  checkpoint:          {c['path']} "
+                  f"(every {c['every']}, {c['saves']} saves)")
+        if result.extra and "resumed_from" in result.extra:
+            print(f"  resumed from:        {result.extra['resumed_from']}")
         if result.extra and "trace_paths" in result.extra:
             print(f"  trace:               {result.extra['trace_paths']['trace']} "
                   f"(+ .chrome.json, .manifest.json)")

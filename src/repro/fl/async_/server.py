@@ -36,6 +36,7 @@ round-trip — that is where parallel backends earn their keep.
 
 from __future__ import annotations
 
+import pickle
 import time
 
 import numpy as np
@@ -62,6 +63,7 @@ from repro.obs.trace import (
 )
 from repro.runtime.clock import VirtualClock, n_local_batches
 from repro.runtime.executor import Executor, RoundContext, SerialExecutor
+from repro.runtime.faults import FaultPlan, FaultStats, absorb_fault_stats
 
 AGGREGATION_MODES = ("fedbuff", "fedasync")
 # How free concurrency slots are assigned to idle online clients:
@@ -105,6 +107,7 @@ class AsyncFederatedServer:
         tracer: Tracer | None = None,
         attack=None,
         defense=None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -190,6 +193,14 @@ class AsyncFederatedServer:
         # Simulated time each client went idle (its last arrival), so the
         # tracer can draw the gap before its next dispatch.
         self._idle_since: dict[int, float] = {}
+        # Fault tolerance: the optional seeded fault plan rides with every
+        # executor batch; recovery accounting accumulates here.  The event
+        # loop's mutable state lives in one dict (`_loop`) so a
+        # checkpointer can snapshot it between aggregation flushes.
+        self.faults = faults
+        self.fault_totals = FaultStats()
+        self.checkpointer = None
+        self._loop: dict | None = None
         self._loss = SoftmaxCrossEntropy()
 
     # -- dispatch -----------------------------------------------------------
@@ -298,15 +309,20 @@ class AsyncFederatedServer:
                 job_rounds={j.client_id: j.job_idx for j in group},
                 client_batches=client_batches,
                 trace=self.tracer is not None,
+                fault_plan=self.faults,
             )
             tr = self.tracer
             ids = [j.client_id for j in group]
             if tr is None:
                 updates = self.executor.run_round(ctx, ids)
+                absorb_fault_stats(self.executor, self.fault_totals, self.clock)
             else:
                 with tr.wall_span("executor.batch", CAT_RUNTIME,
                                   version=job.model_version, jobs=len(group)):
                     updates = self.executor.run_round(ctx, ids)
+                absorb_fault_stats(
+                    self.executor, self.fault_totals, self.clock, tr.metrics
+                )
                 tr.add_worker_spans(self.executor.take_worker_spans())
                 ipc = getattr(self.executor, "last_ipc_bytes", None)
                 if ipc is not None:
@@ -526,38 +542,60 @@ class AsyncFederatedServer:
             )
 
     # -- the event loop ------------------------------------------------------
-    def run(self) -> History:
-        """Process all ``total_jobs`` arrivals in virtual-time order."""
-        queue = EventQueue()
-        idle = {c.client_id for c in self.clients}
-        in_flight: dict[int, ClientJob] = {}
-        computed: dict[int, ClientUpdate] = {}
-        buffer: list[tuple[ClientJob, ClientUpdate, int, float]] = []
-        version = 0
-        last_agg_t = 0.0
-        now = 0.0
-        next_job = self._dispatch_until_full(0.0, version, queue, idle, in_flight, 0)
+    def _init_loop_state(self) -> dict:
+        """The event loop's mutable state, fresh.  One dict so a snapshot
+        captures all of it (queue, slots, buffer, cursors) at once."""
+        return {
+            "queue": EventQueue(),
+            "idle": {c.client_id for c in self.clients},
+            "in_flight": {},   # job_idx -> ClientJob
+            "computed": {},    # job_idx -> ClientUpdate (trained, unpopped)
+            "buffer": [],      # (job, update, staleness, factor)
+            "version": 0,
+            "last_agg_t": 0.0,
+            "now": 0.0,
+            "next_job": 0,
+            "primed": False,   # has the initial dispatch wave run?
+        }
 
-        while queue or next_job < self.total_jobs:
-            if not queue:
+    def run(self) -> History:
+        """Process all ``total_jobs`` arrivals in virtual-time order.
+
+        Loop state persists on ``self._loop`` so a checkpointer can
+        snapshot it between aggregation flushes and a restored server
+        continues mid-timeline, bit-identical to never having stopped.
+        """
+        if self._loop is None:
+            self._loop = self._init_loop_state()
+        st = self._loop
+        if not st["primed"]:
+            st["next_job"] = self._dispatch_until_full(
+                st["now"], st["version"], st["queue"], st["idle"],
+                st["in_flight"], st["next_job"],
+            )
+            st["primed"] = True
+
+        while st["queue"] or st["next_job"] < self.total_jobs:
+            if not st["queue"]:
                 # Budget remains but every idle client was offline at the
                 # last dispatch point: wait (advance simulated time) until
                 # someone churns back online, then re-enqueue work.
-                waited_from = now
-                now = self._wait_for_fleet(now)
-                if self.tracer is not None and now > waited_from:
+                waited_from = st["now"]
+                st["now"] = self._wait_for_fleet(st["now"])
+                if self.tracer is not None and st["now"] > waited_from:
                     self.tracer.span(
                         "fleet.wait", CAT_QUEUE_WAIT, track="server",
-                        sim_t0=waited_from, sim_dur=now - waited_from,
+                        sim_t0=waited_from, sim_dur=st["now"] - waited_from,
                     )
-                next_job = self._dispatch_until_full(
-                    now, version, queue, idle, in_flight, next_job
+                st["next_job"] = self._dispatch_until_full(
+                    st["now"], st["version"], st["queue"], st["idle"],
+                    st["in_flight"], st["next_job"],
                 )
-                if not queue:
+                if not st["queue"]:
                     break  # pathological availability; give up cleanly
                 continue
-            event = queue.pop()
-            now = event.time_s
+            event = st["queue"].pop()
+            st["now"] = now = event.time_s
             job = event.job
             # Connectivity: the job finished (its time was paid) but its
             # upload may be lost mid-round; a lost update is never
@@ -567,20 +605,20 @@ class AsyncFederatedServer:
             )
             if dropped:
                 update = None
-                computed.pop(job.job_idx, None)
+                st["computed"].pop(job.job_idx, None)
                 self.dropped_arrivals += 1
             else:
-                update = self._materialize(job, in_flight, computed)
+                update = self._materialize(job, st["in_flight"], st["computed"])
                 if self.attack is not None:
                     # The upload is poisoned in transit, relative to the
                     # weights this job was dispatched against.
                     update = self.attack.perturb(
                         update, job.job_idx, job.global_weights
                     )
-            del in_flight[job.job_idx]
-            idle.add(job.client_id)
+            del st["in_flight"][job.job_idx]
+            st["idle"].add(job.client_id)
 
-            staleness = version - job.model_version
+            staleness = st["version"] - job.model_version
             factor = self.staleness.factor(staleness)
             self.history.append_event(EventRecord(
                 job_idx=job.job_idx,
@@ -588,41 +626,52 @@ class AsyncFederatedServer:
                 dispatch_time_s=job.dispatch_time_s,
                 arrival_time_s=now,
                 dispatch_version=job.model_version,
-                arrival_version=version,
+                arrival_version=st["version"],
                 staleness=staleness,
                 staleness_factor=factor,
                 dropped=dropped,
             ))
             if not dropped:
-                buffer.append((job, update, staleness, factor))
+                st["buffer"].append((job, update, staleness, factor))
             if self.tracer is not None:
                 self._trace_arrival(job, now, staleness, dropped)
                 self._idle_since[job.client_id] = now
                 m = self.tracer.metrics
-                m.set_gauge("sim.jobs.in_flight", len(in_flight))
-                m.set_gauge("sim.buffer.depth", len(buffer))
+                m.set_gauge("sim.jobs.in_flight", len(st["in_flight"]))
+                m.set_gauge("sim.buffer.depth", len(st["buffer"]))
                 if self.fleet is not None:
                     m.set_gauge(
                         "sim.fleet.online", len(self.fleet.online_ids(now))
                     )
 
-            if len(buffer) >= self.flush_size:
-                self._aggregate(buffer, version, now, last_agg_t)
-                buffer = []
-                version += 1
-                last_agg_t = now
-            next_job = self._dispatch_until_full(
-                now, version, queue, idle, in_flight, next_job
+            flushed = False
+            if len(st["buffer"]) >= self.flush_size:
+                self._aggregate(st["buffer"], st["version"], now, st["last_agg_t"])
+                st["buffer"] = []
+                st["version"] += 1
+                st["last_agg_t"] = now
+                flushed = True
+            st["next_job"] = self._dispatch_until_full(
+                now, st["version"], st["queue"], st["idle"],
+                st["in_flight"], st["next_job"],
             )
+            if flushed and self.checkpointer is not None:
+                # Snapshot at the end of the flushing iteration — after
+                # the refill dispatch, so a resumed loop re-enters exactly
+                # where an uninterrupted one would be.
+                self.checkpointer.step(self.snapshot_state)
 
-        if buffer:
+        if st["buffer"]:
             # A partial final buffer: flush it unless the strategy needs a
             # fixed participation level (FedDRL's agent has a hard K).
             if getattr(self.strategy, "fixed_k", False):
-                self.discarded_updates += len(buffer)
+                self.discarded_updates += len(st["buffer"])
             else:
-                self._aggregate(buffer, version, now, last_agg_t)
-                version += 1
+                self._aggregate(
+                    st["buffer"], st["version"], st["now"], st["last_agg_t"]
+                )
+                st["buffer"] = []
+                st["version"] += 1
         # The final model always gets an evaluation, whatever eval_every is.
         if (
             self.test_set is not None
@@ -631,6 +680,90 @@ class AsyncFederatedServer:
         ):
             self._evaluate(self.history.records[-1])
         return self.history
+
+    # -- checkpoint/resume ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full engine state as a self-contained (deep-copied) dict.
+
+        Captures the event loop mid-timeline: the pending arrival heap
+        (in-flight jobs carry their dispatch-version weights), slot and
+        buffer state, the model-version counter, the dispatch RNG, and
+        the fairness/drop tallies — everything a fresh process needs to
+        continue the run bit-identically.
+        """
+        state = {
+            "engine": "async",
+            "loop": self._loop,
+            "history": self.history,
+            "global_weights": self.global_weights,
+            "strategy": self.strategy,
+            "dispatch_rng_state": self._dispatch_rng.bit_generator.state,
+            "jobs_dispatched": self.jobs_dispatched,
+            "discarded_updates": self.discarded_updates,
+            "dropped_arrivals": self.dropped_arrivals,
+            "idle_since": self._idle_since,
+            "fault_totals": self.fault_totals,
+            "clock": {
+                "elapsed_s": self.clock.elapsed_s,
+                "fault_recovery_s": self.clock.fault_recovery_s,
+                "timings": self.clock.timings,
+            },
+        }
+        return pickle.loads(pickle.dumps(state))
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` dict; run() then continues."""
+        if state.get("engine") != "async":
+            raise ValueError(
+                f"cannot restore {state.get('engine')!r} state into the async engine"
+            )
+        self._loop = state["loop"]
+        self.history = state["history"]
+        self.global_weights = np.asarray(
+            state["global_weights"], dtype=self.global_weights.dtype
+        )
+        self.strategy = state["strategy"]
+        self._dispatch_rng.bit_generator.state = state["dispatch_rng_state"]
+        self.jobs_dispatched = state["jobs_dispatched"]
+        self.discarded_updates = state["discarded_updates"]
+        self.dropped_arrivals = state["dropped_arrivals"]
+        self._idle_since = state["idle_since"]
+        self.fault_totals = state["fault_totals"]
+        clock_state = state.get("clock")
+        if clock_state is not None:
+            self.clock.elapsed_s = clock_state["elapsed_s"]
+            self.clock.fault_recovery_s = clock_state["fault_recovery_s"]
+            self.clock.timings = clock_state["timings"]
+
+    def checkpoint(self) -> dict:
+        """Lightweight server checkpoint: weights + model-version counter
+        + mixing state.  The async counterpart of
+        :meth:`repro.fl.server.FederatedServer.checkpoint`; for full
+        kill-safe loop state use :meth:`snapshot_state`."""
+        return {
+            "global_weights": self.global_weights.copy(),
+            "model_version": self._loop["version"] if self._loop is not None else 0,
+            "server_mix": self.server_mix,
+            "delta_mix": self.delta_mix,
+            "mode": self.mode,
+        }
+
+    def load_checkpoint(self, state: dict) -> None:
+        """Inverse of :meth:`checkpoint`; dtype-portable like the sync path."""
+        if state.get("mode") != self.mode:
+            raise ValueError(
+                f"checkpoint holds {state.get('mode')!r} state but this "
+                f"server runs {self.mode!r}"
+            )
+        weights = np.asarray(state["global_weights"])
+        if weights.shape != self.global_weights.shape:
+            raise ValueError("checkpoint weight dimension mismatch")
+        self.global_weights = weights.astype(self.global_weights.dtype, copy=True)
+        if self._loop is None:
+            self._loop = self._init_loop_state()
+        self._loop["version"] = int(state["model_version"])
+        self.server_mix = float(state["server_mix"])
+        self.delta_mix = bool(state["delta_mix"])
 
     def close(self) -> None:
         """Release the execution backend's workers (idempotent)."""

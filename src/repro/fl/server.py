@@ -120,3 +120,7 @@ class FederatedServer:
             raise ValueError("checkpoint weight dimension mismatch")
         self.global_weights = weights.astype(self.global_weights.dtype, copy=True)
         self.round_idx = int(state["round_idx"])
+
+    # Canonical checkpoint verbs, shared with the async engine.
+    checkpoint = state_dict
+    load_checkpoint = load_state_dict

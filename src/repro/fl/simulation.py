@@ -24,6 +24,7 @@ counts toward the makespan, but the update never reaches aggregation.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -49,6 +50,7 @@ from repro.obs.trace import (
 )
 from repro.runtime.clock import RoundTiming, VirtualClock, n_local_batches
 from repro.runtime.executor import Executor, RoundContext, SerialExecutor
+from repro.runtime.faults import FaultPlan, FaultStats, absorb_fault_stats
 
 
 @dataclass
@@ -306,6 +308,7 @@ class FederatedSimulation:
         tracer: Tracer | None = None,
         attack=None,
         defense=None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -347,6 +350,14 @@ class FederatedSimulation:
         self.tracer = tracer
         if tracer is not None and fleet is not None:
             fleet.metrics = tracer.metrics
+        # Fault tolerance (repro.runtime.faults): an optional seeded fault
+        # plan flows to the executor with every round; recovery accounting
+        # accumulates here.  The checkpointer (attached by the harness)
+        # snapshots full run state after every `every` completed rounds.
+        self.faults = faults
+        self.fault_totals = FaultStats()
+        self.checkpointer = None
+        self._next_round = 0
         self.history = History()
         self._loss = SoftmaxCrossEntropy()
 
@@ -421,13 +432,17 @@ class FederatedSimulation:
             client_kwargs=self.strategy.client_kwargs(),
             client_batches=client_batches,
             trace=self.tracer is not None,
+            fault_plan=self.faults,
         )
         tr = self.tracer
         if tr is None:
-            return self.executor.run_round(ctx, participants)
+            updates = self.executor.run_round(ctx, participants)
+            absorb_fault_stats(self.executor, self.fault_totals, self.clock)
+            return updates
         with tr.wall_span("executor.round", CAT_RUNTIME,
                           round=round_idx, participants=len(participants)):
             updates = self.executor.run_round(ctx, participants)
+        absorb_fault_stats(self.executor, self.fault_totals, self.clock, tr.metrics)
         tr.add_worker_spans(self.executor.take_worker_spans())
         ipc = getattr(self.executor, "last_ipc_bytes", None)
         if ipc is not None:
@@ -669,10 +684,69 @@ class FederatedSimulation:
         tr.maybe_snapshot(self.clock.elapsed_s)
 
     def run(self) -> History:
-        """Run all T communication rounds (Algorithm 2, line 3)."""
-        for t in range(self.config.rounds):
+        """Run all T communication rounds (Algorithm 2, line 3).
+
+        Starts from ``_next_round`` — 0 on a fresh run, later after
+        :meth:`restore_state` — and snapshots through the attached
+        checkpointer (if any) after each completed round, so a kill at
+        any instant loses at most ``checkpoint_every`` rounds of work.
+        """
+        for t in range(self._next_round, self.config.rounds):
             self.run_round(t)
+            self._next_round = t + 1
+            if self.checkpointer is not None:
+                self.checkpointer.step(self.snapshot_state)
         return self.history
+
+    # -- checkpoint/resume ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full engine state as a self-contained (deep-copied) dict.
+
+        Everything a resumed process needs to continue bit-identically:
+        round cursor, global weights, History, the stateful policies
+        (selector, strategy), the engine RNG, and the virtual clock's
+        ledgers.  Deep-copied via pickle so in-process snapshots do not
+        alias live state.
+        """
+        state = {
+            "engine": "sync",
+            "next_round": self._next_round,
+            "global_weights": self.global_weights,
+            "history": self.history,
+            "selector": self.selector,
+            "strategy": self.strategy,
+            "rng_state": self.rng.bit_generator.state,
+            "fault_totals": self.fault_totals,
+            "clock": None if self.clock is None else {
+                "elapsed_s": self.clock.elapsed_s,
+                "fault_recovery_s": self.clock.fault_recovery_s,
+                "timings": self.clock.timings,
+            },
+        }
+        return pickle.loads(pickle.dumps(state))
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` dict; run() then continues."""
+        if state.get("engine") != "sync":
+            raise ValueError(
+                f"cannot restore {state.get('engine')!r} state into the sync engine"
+            )
+        self._next_round = state["next_round"]
+        # Cast to the current compute dtype (dtype is fingerprinted at the
+        # harness level, but direct callers may legitimately move).
+        self.global_weights = np.asarray(
+            state["global_weights"], dtype=self.global_weights.dtype
+        )
+        self.history = state["history"]
+        self.selector = state["selector"]
+        self.strategy = state["strategy"]
+        self.rng.bit_generator.state = state["rng_state"]
+        self.fault_totals = state["fault_totals"]
+        clock_state = state.get("clock")
+        if clock_state is not None and self.clock is not None:
+            self.clock.elapsed_s = clock_state["elapsed_s"]
+            self.clock.fault_recovery_s = clock_state["fault_recovery_s"]
+            self.clock.timings = clock_state["timings"]
 
     def close(self) -> None:
         """Release the execution backend's workers (idempotent)."""

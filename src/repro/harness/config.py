@@ -181,6 +181,25 @@ class ExperimentConfig:
     # every that-many simulated seconds.
     trace: str | None = None
     metrics_interval: float = 0.0
+    # Fault tolerance (repro.runtime.faults): seeded per-(round|job, client)
+    # fault injection — a cell's *first* attempt crashes / raises / blips /
+    # hangs with the given probabilities — plus the parent-side recovery
+    # knobs (per-task timeout, bounded retry).  All-zero probabilities keep
+    # every backend on the historical fault-free path.
+    fault_crash_prob: float = 0.0
+    fault_exception_prob: float = 0.0
+    fault_transient_prob: float = 0.0
+    fault_hang_prob: float = 0.0
+    fault_hang_s: float = 0.05
+    task_timeout_s: float | None = None
+    max_retries: int = 3
+    # Kill-safe checkpoint/resume (repro.runtime.checkpoint): atomic
+    # snapshots of full run state every checkpoint_every rounds (sync) or
+    # aggregation flushes (async); resume=PATH restores and continues,
+    # bit-identical to an uninterrupted run.
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 1
+    resume: str | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in VALID_DATASETS:
@@ -263,6 +282,7 @@ class ExperimentConfig:
             raise ValueError("server_mix must be in (0, 1] when given")
         self._validate_fleet()
         self._validate_robust()
+        self._validate_faults()
         if self.aggregation != "sync":
             if self.method == "singleset":
                 raise ValueError(
@@ -359,7 +379,52 @@ class ExperimentConfig:
                 "aggregation apply to the federated engines only"
             )
 
+    def _validate_faults(self) -> None:
+        probs = (
+            self.fault_crash_prob, self.fault_exception_prob,
+            self.fault_transient_prob, self.fault_hang_prob,
+        )
+        for p in probs:
+            if not 0.0 <= p < 1.0:
+                raise ValueError("fault probabilities must be in [0, 1)")
+        if sum(probs) >= 1.0:
+            raise ValueError("fault probabilities must sum below 1")
+        if self.fault_hang_s <= 0:
+            raise ValueError("fault_hang_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive when given")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_every != 1 and self.checkpoint_path is None:
+            raise ValueError("checkpoint_every needs checkpoint_path to write to")
+        if self.method == "singleset" and (
+            self.faults_active
+            or self.checkpoint_path is not None
+            or self.resume is not None
+        ):
+            raise ValueError(
+                "singleset is centralized training — fault injection and "
+                "checkpointing apply to the federated engines only"
+            )
+        if self.method == "feddrl" and (
+            self.checkpoint_path is not None or self.resume is not None
+        ):
+            raise ValueError(
+                "feddrl checkpointing is unsupported: the DRL agent's "
+                "replay buffer and network state are not snapshotted yet"
+            )
+
     # -- resolved views ------------------------------------------------------
+    @property
+    def faults_active(self) -> bool:
+        """True when any fault-injection probability is positive."""
+        return (
+            self.fault_crash_prob + self.fault_exception_prob
+            + self.fault_transient_prob + self.fault_hang_prob
+        ) > 0.0
+
     @property
     def fleet_active(self) -> bool:
         """True when any fleet-behavior axis departs from the ideal fleet."""

@@ -9,6 +9,7 @@ dependency.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -71,6 +72,28 @@ def history_to_dict(history: History) -> dict:
         ],
     }
     return out
+
+
+# Wall-clock measurements: real host timings that legitimately differ
+# between two runs of the same experiment, so the digest excludes them.
+_WALL_TIME_KEYS = ("mean_impact_time_ms", "mean_aggregation_time_ms")
+
+
+def history_digest(history: History) -> str:
+    """A stable hash of the run's History, simulation domain only.
+
+    The comparison surface for the fault-tolerance guarantees: a faulted
+    -and-recovered run, a resumed run, and a clean run of the same
+    experiment must all produce the same digest.  Hashes the canonical
+    JSON form (sorted keys) minus the wall-clock fields — everything
+    left (accuracies, losses, makespans, events) is a pure function of
+    the experiment seed.
+    """
+    payload = history_to_dict(history)
+    for key in _WALL_TIME_KEYS:
+        payload.pop(key, None)
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def result_to_dict(result: ExperimentResult) -> dict:

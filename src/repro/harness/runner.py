@@ -18,14 +18,19 @@ from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
 from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
 from repro.fleet import FleetSimulator, get_availability_model
+from repro.harness.checkpoint import checkpoint_fingerprint, validate_resume
 from repro.harness.config import ExperimentConfig
 from repro.nn.dtypes import default_dtype, set_default_dtype
 from repro.obs import Tracer, write_run_artifacts
 from repro.nn.models import mlp, simple_cnn, vgg11, vgg_mini
 from repro.runtime import (
+    Checkpointer,
+    FaultPlan,
+    RetryPolicy,
     ThreadExecutor,
     VirtualClock,
     get_latency_model,
+    load_snapshot,
     make_executor,
 )
 
@@ -181,10 +186,33 @@ def pretrain_feddrl_agent(cfg: ExperimentConfig, drl_cfg):
     return agent
 
 
+def build_fault_plan(cfg: ExperimentConfig) -> FaultPlan | None:
+    """The seeded fault-injection plan, or None when all rates are zero."""
+    if not cfg.faults_active:
+        return None
+    return FaultPlan(
+        seed=cfg.seed,
+        crash_prob=cfg.fault_crash_prob,
+        exception_prob=cfg.fault_exception_prob,
+        transient_prob=cfg.fault_transient_prob,
+        hang_prob=cfg.fault_hang_prob,
+        hang_s=cfg.fault_hang_s,
+    )
+
+
+def build_retry_policy(cfg: ExperimentConfig) -> RetryPolicy:
+    """The executors' recovery policy from the config's knobs."""
+    return RetryPolicy(
+        max_retries=cfg.max_retries,
+        task_timeout_s=cfg.task_timeout_s,
+    )
+
+
 def build_executor(cfg: ExperimentConfig, clients, model_factory, model=None):
     """The execution backend named by ``cfg.backend`` (see repro.runtime)."""
     return make_executor(
-        cfg.backend, clients, model_factory, workers=cfg.workers, model=model
+        cfg.backend, clients, model_factory, workers=cfg.workers, model=model,
+        retry=build_retry_policy(cfg),
     )
 
 
@@ -314,8 +342,9 @@ def build_simulation(
     if cfg.backend != "serial":
         executor = build_executor(cfg, clients, model_factory)
     fleet = build_fleet(cfg, clients)
+    faults = build_fault_plan(cfg)
     if cfg.aggregation != "sync":
-        return AsyncFederatedServer(
+        sim = AsyncFederatedServer(
             clients, test_set, model_factory, strategy, build_fl_config(cfg),
             clock=build_clock(cfg),
             executor=executor,
@@ -329,12 +358,18 @@ def build_simulation(
             tracer=tracer,
             attack=attack,
             defense=defense,
+            faults=faults,
         )
-    return FederatedSimulation(
-        clients, test_set, model_factory, strategy, build_fl_config(cfg),
-        executor=executor, clock=build_clock(cfg), fleet=fleet,
-        tracer=tracer, attack=attack, defense=defense,
-    )
+    else:
+        sim = FederatedSimulation(
+            clients, test_set, model_factory, strategy, build_fl_config(cfg),
+            executor=executor, clock=build_clock(cfg), fleet=fleet,
+            tracer=tracer, attack=attack, defense=defense, faults=faults,
+        )
+    # The engine may have built its own serial default executor; the retry
+    # policy applies to whichever executor ended up inside.
+    sim.executor.retry = build_retry_policy(cfg)
+    return sim
 
 
 # --------------------------------------------------------------------------
@@ -378,6 +413,15 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
     if cfg.trace is not None:
         tracer = Tracer(metrics_interval=cfg.metrics_interval)
     with build_simulation(cfg, tracer=tracer) as sim:
+        if cfg.resume is not None:
+            snapshot = load_snapshot(cfg.resume)
+            sim.restore_state(validate_resume(snapshot, cfg))
+        if cfg.checkpoint_path is not None:
+            sim.checkpointer = Checkpointer(
+                cfg.checkpoint_path,
+                every=cfg.checkpoint_every,
+                meta={"fingerprint": checkpoint_fingerprint(cfg)},
+            )
         history = sim.run()
     extra = None
     if sim.clock is not None:
@@ -414,6 +458,19 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
         backdoor = history.final_backdoor_accuracy()
         if backdoor is not None:
             extra["backdoor_accuracy"] = backdoor
+    if cfg.faults_active or sim.fault_totals.any():
+        extra = dict(extra or {})
+        extra["faults"] = sim.fault_totals.as_dict()
+    if cfg.checkpoint_path is not None:
+        extra = dict(extra or {})
+        extra["checkpoint"] = {
+            "path": cfg.checkpoint_path,
+            "every": cfg.checkpoint_every,
+            "saves": sim.checkpointer.saves,
+        }
+    if cfg.resume is not None:
+        extra = dict(extra or {})
+        extra["resumed_from"] = cfg.resume
     if tracer is not None:
         paths = write_run_artifacts(tracer, cfg.trace, config=cfg)
         extra = dict(extra or {})

@@ -8,6 +8,12 @@ a virtual clock that simulates heterogeneous device latency (stragglers,
 deadlines) independently of the host's real speed.
 """
 
+from repro.runtime.checkpoint import (
+    SNAPSHOT_SCHEMA,
+    Checkpointer,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.runtime.clock import (
     DEADLINE_POLICIES,
     LATENCY_MODELS,
@@ -30,14 +36,36 @@ from repro.runtime.executor import (
     ThreadExecutor,
     make_executor,
 )
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultInjected,
+    FaultPlan,
+    FaultStats,
+    InjectedCrash,
+    InjectedHang,
+    InjectedTaskError,
+    RetryPolicy,
+    TransientFault,
+)
 from repro.runtime.seeding import client_round_rng, client_round_seed
 
 __all__ = [
     "BACKENDS",
     "DEADLINE_POLICIES",
+    "FAULT_KINDS",
     "LATENCY_MODELS",
+    "SNAPSHOT_SCHEMA",
+    "Checkpointer",
     "DeviceProfile",
     "Executor",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultStats",
+    "InjectedCrash",
+    "InjectedHang",
+    "InjectedTaskError",
+    "RetryPolicy",
+    "TransientFault",
     "HomogeneousLatency",
     "LatencyModel",
     "LogNormalLatency",
@@ -51,6 +79,8 @@ __all__ = [
     "client_round_rng",
     "client_round_seed",
     "get_latency_model",
+    "load_snapshot",
     "make_executor",
     "n_local_batches",
+    "save_snapshot",
 ]

@@ -197,6 +197,11 @@ class VirtualClock:
         self.policy = policy
         self.jitter_sigma = jitter_sigma
         self.elapsed_s = 0.0
+        # Simulated fault-recovery seconds (retry backoff).  A separate
+        # ledger from elapsed_s on purpose: folding recovery time into the
+        # main clock would shift availability slots and round makespans,
+        # breaking the "faulted run bit-identical to clean run" guarantee.
+        self.fault_recovery_s = 0.0
         self.timings: list[RoundTiming] = []
 
     def advance(self, seconds: float) -> None:
@@ -205,6 +210,12 @@ class VirtualClock:
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
         self.elapsed_s += seconds
+
+    def charge_recovery(self, seconds: float) -> None:
+        """Accumulate simulated fault-recovery (retry backoff) time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative recovery time")
+        self.fault_recovery_s += seconds
 
     def client_time(self, round_idx: int, client_id: int, n_batches: int) -> float:
         """Simulated seconds for one client's round, jitter included."""

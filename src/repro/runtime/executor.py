@@ -23,6 +23,19 @@ streams, not from shared stateful generators, and a model replica is
 fully determined by ``set_flat_weights`` (parameters and buffers alike).
 This holds for every model in the zoo, including ``vgg11``'s Dropout
 layers.
+
+**Fault tolerance.**  Every backend retries failed tasks under a
+:class:`~repro.runtime.faults.RetryPolicy`: a retried attempt re-derives
+the *same* ``(round, client)`` RNG cell, so a faulted-and-recovered run
+is bit-identical to a clean one.  Injected faults (a seeded
+:class:`~repro.runtime.faults.FaultPlan` on the round context) are
+accounted in the deterministic ``sim`` domain — the schedule is
+pre-computed parent-side from the plan's pure draws, identically on all
+backends; real recovery work (pool rebuilds after ``BrokenProcessPool``,
+per-task timeouts, collateral re-dispatch) lands in the backend-dependent
+``rt`` domain.  The process backend rebuilds its pool on breakage and,
+after ``max_pool_rebuilds`` failures, degrades to in-parent serial
+execution for the remaining work — results unchanged either way.
 """
 
 from __future__ import annotations
@@ -31,7 +44,14 @@ import os
 import queue
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -39,6 +59,7 @@ import numpy as np
 
 from repro.nn.dtypes import get_default_dtype, set_default_dtype
 from repro.nn.losses import SoftmaxCrossEntropy
+from repro.runtime.faults import FaultInjected, FaultPlan, FaultStats, RetryPolicy
 from repro.runtime.seeding import STREAM_FORWARD, client_round_rng
 
 if TYPE_CHECKING:  # imported lazily to keep runtime free of an fl<->runtime cycle
@@ -66,6 +87,10 @@ class RoundContext:
     client's local training and ship it back with the results (see
     :meth:`Executor.take_worker_spans`); the default leaves the hot path
     untouched.
+
+    ``fault_plan`` injects seeded failures into each cell's *first*
+    attempt (see :mod:`repro.runtime.faults`); ``None`` keeps every
+    backend on its historical fault-free path.
     """
 
     round_idx: int
@@ -78,19 +103,35 @@ class RoundContext:
     job_rounds: dict[int, int] | None = None
     client_batches: dict[int, int] | None = None
     trace: bool = False
+    fault_plan: FaultPlan | None = None
 
 
-def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
+def _cell_index(ctx: RoundContext, client_id: int) -> int:
+    """The RNG cell's time coordinate for one client: the round index, or
+    the client's job index under the async engine's ``job_rounds`` map."""
+    if ctx.job_rounds is not None:
+        return ctx.job_rounds.get(client_id, ctx.round_idx)
+    return ctx.round_idx
+
+
+def _train_one(
+    client: Client, model, loss, ctx: RoundContext,
+    attempt: int = 0, real_crash: bool = False,
+) -> ClientUpdate:
     """One client's local training with its (round, client)-keyed RNGs.
 
     Batch shuffling and forward-time randomness (Dropout masks) draw from
     separate streams of the same cell, so both are pure functions of
     ``(seed, round, client)`` — never of the worker or replica that
-    happens to serve the client.
+    happens to serve the client.  An attached fault plan may fail the
+    cell's first attempt *before* any training RNG is touched, so the
+    retry trains with pristine streams and recovery is bit-identical.
     """
-    seed_round = ctx.round_idx
-    if ctx.job_rounds is not None:
-        seed_round = ctx.job_rounds.get(client.client_id, seed_round)
+    seed_round = _cell_index(ctx, client.client_id)
+    if ctx.fault_plan is not None:
+        ctx.fault_plan.inject(
+            seed_round, client.client_id, attempt, real_crash=real_crash
+        )
     rng = client_round_rng(ctx.base_seed, seed_round, client.client_id)
     forward_rng = client_round_rng(
         ctx.base_seed, seed_round, client.client_id, stream=STREAM_FORWARD
@@ -113,7 +154,8 @@ def _train_one(client: Client, model, loss, ctx: RoundContext) -> ClientUpdate:
 
 
 def _train_one_traced(
-    client: Client, model, loss, ctx: RoundContext, worker: str
+    client: Client, model, loss, ctx: RoundContext, worker: str,
+    attempt: int = 0, real_crash: bool = False,
 ) -> tuple[ClientUpdate, dict]:
     """:func:`_train_one` plus a wall-time span measured *in the worker*.
 
@@ -126,10 +168,8 @@ def _train_one_traced(
     """
     t0 = time.time()
     p0 = time.perf_counter()
-    update = _train_one(client, model, loss, ctx)
-    seed_round = ctx.round_idx
-    if ctx.job_rounds is not None:
-        seed_round = ctx.job_rounds.get(client.client_id, seed_round)
+    update = _train_one(client, model, loss, ctx, attempt, real_crash)
+    seed_round = _cell_index(ctx, client.client_id)
     span = {
         "type": "span",
         "name": "worker.local_train",
@@ -153,10 +193,70 @@ class Executor:
     """Runs one round of client training; backends differ only in *how*."""
 
     name: str = "base"
+    # Default recovery policy; backends accept a custom one via `retry=`.
+    retry: RetryPolicy = RetryPolicy()
 
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
         """Train ``participants`` against ``ctx``; results in participant order."""
         raise NotImplementedError
+
+    # -- fault accounting -----------------------------------------------------
+    def _stats(self) -> FaultStats:
+        stats = getattr(self, "_fault_stats", None)
+        if stats is None:
+            stats = self._fault_stats = FaultStats()
+        return stats
+
+    def take_fault_stats(self) -> FaultStats | None:
+        """Fault/recovery accounting since the last call, or None.
+
+        Mirrors :meth:`take_worker_spans`: the engine reads (and clears)
+        the stats after each ``run_round`` and owns charging the sim
+        backoff to the virtual clock and publishing the obs counters.
+        """
+        stats = getattr(self, "_fault_stats", None)
+        self._fault_stats = None
+        return stats
+
+    def _prerecord_injections(self, ctx: RoundContext, participants: list[int]) -> None:
+        """Account the round's injected-fault schedule, parent-side.
+
+        The plan's draws are pure functions of ``(seed, cell)``, so the
+        ``sim.fault.*`` numbers computed here are bit-identical across
+        backends — unlike the *observed* failures (a crashed process
+        pool takes innocent tasks down with it), which land in the
+        ``rt`` domain as they surface.
+        """
+        plan = ctx.fault_plan
+        if plan is None or not plan.active:
+            return
+        stats = self._stats()
+        for cid in participants:
+            kind = plan.draw(_cell_index(ctx, cid), cid)
+            if kind is not None:
+                stats.record_injected(kind, self.retry.backoff_s(0))
+
+    def _run_retrying(self, ctx: RoundContext, cid: int, attempt_fn):
+        """Bounded in-process retry around one task.
+
+        ``attempt_fn(attempt)`` runs the work; injected faults retry
+        without further accounting (the schedule was pre-recorded), real
+        exceptions count one ``rt`` retry each and re-raise once the
+        budget is spent.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return attempt_fn(attempt)
+            except FaultInjected:
+                if attempt >= policy.max_retries:
+                    raise
+            except Exception:
+                if attempt >= policy.max_retries:
+                    raise
+                self._stats().rt_retries += 1
+            attempt += 1
 
     def map_tasks(self, fn, items: list) -> list:
         """Run an arbitrary task over ``items``, results in item order.
@@ -197,24 +297,38 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def __init__(self, clients: list[Client], model_factory, model=None) -> None:
+    def __init__(
+        self, clients: list[Client], model_factory, model=None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.clients = {c.client_id: c for c in clients}
         # The caller may donate its workspace model (the simulation reuses
         # its evaluation model) — training overwrites all state anyway.
         self._model = model if model is not None else model_factory(np.random.default_rng(0))
         self._loss = SoftmaxCrossEntropy()
+        if retry is not None:
+            self.retry = retry
 
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        self._prerecord_injections(ctx, participants)
         if not ctx.trace:
             return [
-                _train_one(self.clients[cid], self._model, self._loss, ctx)
+                self._run_retrying(
+                    ctx, cid,
+                    lambda attempt, cid=cid: _train_one(
+                        self.clients[cid], self._model, self._loss, ctx, attempt
+                    ),
+                )
                 for cid in participants
             ]
         label = _worker_label()
         results, spans = [], []
         for cid in participants:
-            update, span = _train_one_traced(
-                self.clients[cid], self._model, self._loss, ctx, label
+            update, span = self._run_retrying(
+                ctx, cid,
+                lambda attempt, cid=cid: _train_one_traced(
+                    self.clients[cid], self._model, self._loss, ctx, label, attempt
+                ),
             )
             results.append(update)
             spans.append(span)
@@ -237,16 +351,20 @@ class ThreadExecutor(Executor):
         clients: list[Client] = (),
         model_factory=None,
         workers: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.workers = max(1, workers or (os.cpu_count() or 1))
         self.clients = {c.client_id: c for c in clients}
         self._model_factory = model_factory
+        self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="fl-client"
         )
         # Model replicas are built lazily on the first run_round, so a
         # map_tasks-only executor (DRL pretraining) never pays for them.
         self._replicas: queue.SimpleQueue | None = None
+        if retry is not None:
+            self.retry = retry
 
     def _ensure_replicas(self) -> queue.SimpleQueue:
         if self._replicas is None:
@@ -262,26 +380,57 @@ class ThreadExecutor(Executor):
                 )
         return self._replicas
 
-    def _run(self, cid: int, ctx: RoundContext):
+    def _run(self, cid: int, ctx: RoundContext, attempt: int = 0):
         replicas = self._replicas
         model, loss = replicas.get()
         try:
             if ctx.trace:
                 return _train_one_traced(
-                    self.clients[cid], model, loss, ctx, _worker_label()
+                    self.clients[cid], model, loss, ctx, _worker_label(), attempt
                 )
-            return _train_one(self.clients[cid], model, loss, ctx)
+            return _train_one(self.clients[cid], model, loss, ctx, attempt)
         finally:
             replicas.put((model, loss))
 
+    def _collect(self, future, cid: int, ctx: RoundContext):
+        """One future's result, with timeout-aware bounded retry.
+
+        A timed-out task keeps running in its pool thread (threads cannot
+        be preempted) until it returns its replica — injected hangs raise
+        after ``hang_s``, bounding the stall; the replacement attempt
+        simply queues for the next free replica.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return future.result(timeout=policy.task_timeout_s)
+            except FaultInjected:
+                if attempt >= policy.max_retries:
+                    raise
+            except FuturesTimeout:
+                self._stats().rt_timeouts += 1
+                if attempt >= policy.max_retries:
+                    raise TimeoutError(
+                        f"client {cid} task exceeded {policy.task_timeout_s}s "
+                        f"on each of {attempt + 1} attempts"
+                    ) from None
+            except Exception:
+                if attempt >= policy.max_retries:
+                    raise
+                self._stats().rt_retries += 1
+            attempt += 1
+            future = self._pool.submit(self._run, cid, ctx, attempt)
+
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
         self._ensure_replicas()
+        self._prerecord_injections(ctx, participants)
         futures = [self._pool.submit(self._run, cid, ctx) for cid in participants]
         if not ctx.trace:
-            return [f.result() for f in futures]
+            return [self._collect(f, cid, ctx) for f, cid in zip(futures, participants)]
         results, spans = [], []
-        for f in futures:
-            update, span = f.result()
+        for f, cid in zip(futures, participants):
+            update, span = self._collect(f, cid, ctx)
             results.append(update)
             spans.append(span)
         self._worker_spans = spans
@@ -291,7 +440,13 @@ class ThreadExecutor(Executor):
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.shutdown(wait=True)
+        except Exception:
+            pass
 
 
 # Per-process worker state, installed once by the pool initializer so each
@@ -321,6 +476,26 @@ def _run_chunk(ctx: RoundContext, chunk: list[tuple[int, int]]):
     ]
 
 
+def _run_one_ft(ctx: RoundContext, pos: int, cid: int, attempt: int):
+    """One task on the fault-tolerant path: per-task futures so the parent
+    can time out, retry, and re-dispatch at task granularity.
+
+    ``real_crash=True`` lets an injected ``crash`` genuinely kill this
+    worker process (``os._exit``), so the parent's ``BrokenProcessPool``
+    recovery is exercised by the real failure mode, not a stand-in.
+    """
+    clients = _WORKER_STATE["clients"]
+    model = _WORKER_STATE["model"]
+    loss = _WORKER_STATE["loss"]
+    if not ctx.trace:
+        update = _train_one(clients[cid], model, loss, ctx, attempt, real_crash=True)
+        return pos, update, None
+    update, span = _train_one_traced(
+        clients[cid], model, loss, ctx, _worker_label(), attempt, real_crash=True
+    )
+    return pos, update, span
+
+
 class ProcessExecutor(Executor):
     """Process pool with per-worker model replicas and chunked dispatch.
 
@@ -334,18 +509,124 @@ class ProcessExecutor(Executor):
 
     name = "process"
 
-    def __init__(self, clients: list[Client], model_factory, workers: int | None = None) -> None:
+    def __init__(
+        self, clients: list[Client], model_factory, workers: int | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         from repro.data.shm import share_clients
 
         self.workers = max(1, workers or (os.cpu_count() or 1))
+        if retry is not None:
+            self.retry = retry
+        self._closed = False
+        self._pool = None
+        self._shm_pool = None
+        self._pool_rebuilds = 0
+        self._degraded = False
+        # Kept for the degraded in-parent fallback: the original clients
+        # (the caller holds them anyway) and a lazily built local model.
+        self._fallback_clients = {c.client_id: c for c in clients}
+        self._model_factory = model_factory
+        self._local = None
         shared_clients, self._shm_pool = share_clients(list(clients))
-        self._pool = ProcessPoolExecutor(
+        self._initargs = (shared_clients, model_factory, get_default_dtype().name)
+        try:
+            self._pool = self._new_pool()
+        except BaseException:
+            # Half-built executor: release the shm blocks before surfacing.
+            self.close()
+            raise
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(shared_clients, model_factory, get_default_dtype().name),
+            initargs=self._initargs,
         )
 
+    def _terminate_pool(self) -> None:
+        """Tear the pool down without waiting on its (possibly hung) tasks."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", None) or {})
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for pid in procs:
+            # Outstanding workers may be stuck mid-task; a terminate is the
+            # only preemption a process pool supports.
+            try:
+                os.kill(pid, 15)
+            except (OSError, TypeError):
+                pass
+
+    def _rebuild_pool(self, stats: FaultStats) -> None:
+        """Replace a broken/stuck pool; degrade to in-parent serial work
+        once the lifetime rebuild budget is spent."""
+        self._pool_rebuilds += 1
+        stats.pool_rebuilds += 1
+        self._terminate_pool()
+        if self._pool_rebuilds > self.retry.max_pool_rebuilds:
+            self._degraded = True
+            stats.degraded = True
+            return
+        self._pool = self._new_pool()
+
+    def _run_local(self, ctx: RoundContext, cid: int, attempt: int):
+        """Degraded mode: run one task in the parent, serial-style.
+
+        Injected crashes surface as :class:`InjectedCrash` here (never
+        ``os._exit`` — the parent must survive), so the retry loop
+        recovers them like any other injected fault.
+        """
+        if self._local is None:
+            self._local = (
+                self._model_factory(np.random.default_rng(0)),
+                SoftmaxCrossEntropy(),
+            )
+        model, loss = self._local
+        client = self._fallback_clients[cid]
+        policy = self.retry
+        while True:
+            try:
+                if ctx.trace:
+                    return _train_one_traced(
+                        client, model, loss, ctx, _worker_label(), attempt
+                    )
+                return _train_one(client, model, loss, ctx, attempt), None
+            except FaultInjected:
+                if attempt >= policy.max_retries:
+                    raise
+            except Exception:
+                if attempt >= policy.max_retries:
+                    raise
+                self._stats().rt_retries += 1
+            attempt += 1
+
     def run_round(self, ctx: RoundContext, participants: list[int]) -> list[ClientUpdate]:
+        self._prerecord_injections(ctx, participants)
+        fault_tolerant = (
+            (ctx.fault_plan is not None and ctx.fault_plan.active)
+            or self.retry.task_timeout_s is not None
+        )
+        if self._degraded or fault_tolerant:
+            return self._run_round_ft(ctx, participants)
+        try:
+            return self._run_round_chunked(ctx, participants)
+        except BrokenProcessPool:
+            # A real worker death (no plan involved): rebuild and redo the
+            # whole round at task granularity.  Completed chunk results are
+            # discarded — recomputing them is bit-identical.
+            stats = self._stats()
+            stats.rt_retries += len(participants)
+            self._rebuild_pool(stats)
+            return self._run_round_ft(ctx, participants, first_attempt=1)
+
+    def _run_round_chunked(
+        self, ctx: RoundContext, participants: list[int]
+    ) -> list[ClientUpdate]:
         indexed = list(enumerate(participants))
         n_chunks = min(self.workers, len(indexed))
         # Strided chunks: client sizes are typically sorted-ish per
@@ -374,14 +655,133 @@ class ProcessExecutor(Executor):
         }
         return results  # type: ignore[return-value]
 
+    def _run_round_ft(
+        self, ctx: RoundContext, participants: list[int], first_attempt: int = 0
+    ) -> list[ClientUpdate]:
+        """Per-task dispatch with timeout, retry, pool rebuild, degradation.
+
+        Slower than the chunked path (one future per task instead of one
+        per worker), which is why the clean configuration never takes it.
+        """
+        policy = self.retry
+        stats = self._stats()
+        n = len(participants)
+        results: list[ClientUpdate | None] = [None] * n
+        spans: dict[int, dict] = {}
+        attempts = [first_attempt] * n
+        pending = set(range(n))
+        future_pos: dict = {}
+        submissions = 0
+
+        def submit(pos: int) -> None:
+            nonlocal submissions
+            f = self._pool.submit(_run_one_ft, ctx, pos, participants[pos], attempts[pos])
+            future_pos[f] = pos
+            submissions += 1
+
+        def finish(pos: int, update, span) -> None:
+            results[pos] = update
+            pending.discard(pos)
+            if span is not None:
+                spans[pos] = span
+
+        if not self._degraded:
+            for pos in range(n):
+                submit(pos)
+
+        while future_pos:
+            done, _ = wait(
+                set(future_pos), timeout=policy.task_timeout_s,
+                return_when=FIRST_COMPLETED,
+            )
+            retry_positions: list[int] = []
+            recycle = False
+            if not done:
+                # Nothing finished inside the timeout window: the pool is
+                # stuck (hung worker).  Processes can be preempted, so the
+                # recovery is rebuild-and-redispatch.
+                stats.rt_timeouts += 1
+                recycle = True
+            else:
+                for f in done:
+                    pos = future_pos.pop(f)
+                    try:
+                        _, update, span = f.result()
+                    except FaultInjected:
+                        # Pre-counted in the sim domain; just retry.
+                        if attempts[pos] >= policy.max_retries:
+                            raise
+                        attempts[pos] += 1
+                        retry_positions.append(pos)
+                    except BrokenProcessPool:
+                        stats.rt_retries += 1
+                        attempts[pos] += 1
+                        retry_positions.append(pos)
+                        recycle = True
+                    except Exception:
+                        if attempts[pos] >= policy.max_retries:
+                            raise
+                        stats.rt_retries += 1
+                        attempts[pos] += 1
+                        retry_positions.append(pos)
+                    else:
+                        finish(pos, update, span)
+            if recycle:
+                # Every outstanding future is doomed (broken pool) or being
+                # abandoned (stuck pool): re-dispatch the lot.  Collateral
+                # victims are rt-domain retries — backend-dependent by
+                # nature, invisible to the sim counters.
+                doomed = sorted(set(future_pos.values()))
+                future_pos.clear()
+                for pos in doomed:
+                    attempts[pos] += 1
+                stats.rt_retries += len(doomed)
+                retry_positions.extend(doomed)
+                self._rebuild_pool(stats)
+            if self._degraded:
+                for pos in sorted(set(retry_positions)):
+                    update, span = self._run_local(ctx, participants[pos], attempts[pos])
+                    finish(pos, update, span)
+                retry_positions = []
+            for pos in retry_positions:
+                submit(pos)
+
+        # Degraded before (or without) any dispatch: whatever never ran in
+        # a worker runs in the parent now.
+        for pos in sorted(pending):
+            update, span = self._run_local(ctx, participants[pos], attempts[pos])
+            finish(pos, update, span)
+
+        if ctx.trace:
+            self._worker_spans = [spans[pos] for pos in sorted(spans)]
+            self.last_ipc_bytes = {
+                "out": int(ctx.global_weights.nbytes) * submissions,
+                "in": int(sum(u.weights.nbytes for u in results if u is not None)),
+            }
+        return results  # type: ignore[return-value]
+
     def map_tasks(self, fn, items: list) -> list:
         # Tasks must be picklable; closures (e.g. env factories) are not —
         # such callers should use the thread backend's map_tasks instead.
         return list(self._pool.map(fn, items))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
-        self._shm_pool.close()
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:
+                pass
+        # The shm pool stays referenced (callers introspect block counts
+        # post-close); the _closed guard makes the release single-shot.
+        if self._shm_pool is not None:
+            try:
+                self._shm_pool.close()
+            except Exception:
+                pass
 
 
 def make_executor(
@@ -390,12 +790,13 @@ def make_executor(
     model_factory,
     workers: int | None = None,
     model=None,
+    retry: RetryPolicy | None = None,
 ) -> Executor:
     """Factory for the CLI/harness ``--backend`` flag."""
     if backend == "serial":
-        return SerialExecutor(clients, model_factory, model=model)
+        return SerialExecutor(clients, model_factory, model=model, retry=retry)
     if backend == "thread":
-        return ThreadExecutor(clients, model_factory, workers=workers)
+        return ThreadExecutor(clients, model_factory, workers=workers, retry=retry)
     if backend == "process":
-        return ProcessExecutor(clients, model_factory, workers=workers)
+        return ProcessExecutor(clients, model_factory, workers=workers, retry=retry)
     raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")

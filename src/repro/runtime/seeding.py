@@ -37,6 +37,13 @@ STREAM_DROPOUT = 4
 STREAM_COMPLETENESS = 5
 STREAM_ATTACK = 6
 STREAM_MALICIOUS = 7
+# Deterministic fault injection (repro.runtime.faults): one uniform draw
+# per (round|job, client) cell decides whether that cell's *first*
+# execution attempt fails (crash / exception / transient / hang).  Keyed
+# on the same cell as the training RNGs so an injected-and-retried cell
+# re-trains with its own untouched STREAM_BATCHES / STREAM_FORWARD
+# streams — recovery is bit-identical to never having faulted.
+STREAM_FAULTS = 8
 
 
 def client_round_seed(
