@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Fleet scale-out benchmark: per-round overhead vs population size.
+
+Sweeps the columnar fleet substrate from 1k to 1M clients at a fixed
+participation level (K=16) and times the three things a round pays
+*besides* training, which is K-bound by construction:
+
+* **selection** — the sampling policy over the online pool;
+* **availability** — advancing the whole-fleet markov availability
+  column (amortized: one vectorized step per slot, a slot spans several
+  rounds) and materializing the online id pool;
+* **materialization** — building the K sampled participants as real
+  ``Client`` objects from the shared base dataset (lazy pool, released
+  after the round).
+
+The per-client *population* never materializes: client state lives in
+:class:`repro.fleet.columnar.FleetState` columns and shards are sliced
+on demand by :class:`repro.fleet.scale.LazyClientPool`.  The acceptance
+criterion is that per-round overhead grows with K, not N — the 1M fleet
+stays within 10x of the 1k fleet — and that the columnar state for a
+million clients fits in under 100 MB.
+
+``BENCH_scale.json`` records, per N, the component timings, the
+per-round total, and ``FleetState.nbytes``, plus the headline
+``overhead_ratio_largest_vs_smallest``.  Run with ``--smoke`` for a
+seconds-long 1k/10k CI pass with the same JSON shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageSpec, make_synthetic_dataset
+from repro.fl.selection import UniformSelection
+from repro.fleet.columnar import ColumnarAvailability, FleetState
+from repro.fleet.scale import LazyClientPool, StridedPartition
+
+K = 16
+SEED = 0
+OFFLINE_FRACTION = 0.2
+CHURN_RATE = 0.5
+# A slot spans this many rounds: availability advances per *slot*, so the
+# whole-fleet markov step is amortized exactly as a real run with
+# slot_s = ROUNDS_PER_SLOT * round_s would amortize it.
+ROUNDS_PER_SLOT = 32
+PER_CLIENT = 32  # samples per client shard (sliced from a shared pool)
+BASE_SAMPLES = 4096
+
+
+def build_fleet(n_clients: int):
+    """One N-sized fleet: columnar state + lazy participants."""
+    spec = SyntheticImageSpec(num_classes=4, channels=1, image_size=8, noise=0.3)
+    train, _ = make_synthetic_dataset(spec, BASE_SAMPLES, 8,
+                                      np.random.default_rng(SEED))
+    parts = StridedPartition(len(train), n_clients, per_client=PER_CLIENT)
+    clients = LazyClientPool(train, parts, seed=SEED + 11)
+    availability = ColumnarAvailability(
+        "markov", n_clients, SEED + 31,
+        offline_fraction=OFFLINE_FRACTION, churn_rate=CHURN_RATE,
+    )
+    state = FleetState(n_clients, SEED, availability=availability,
+                       shard_sizes=parts.shard_sizes)
+    selector = UniformSelection(np.random.default_rng(SEED + 17))
+    return state, clients, selector
+
+
+def bench_population(n_clients: int, rounds: int) -> dict:
+    state, clients, selector = build_fleet(n_clients)
+    # Warm up: first slot pays one-off kernel allocations.
+    state.online_ids(0)
+    clients.ensure(selector.select(n_clients, K, 0))
+    clients.release()
+
+    sel_s = avail_s = mat_s = 0.0
+    picked_sizes = []
+    for r in range(1, rounds + 1):
+        slot = r // ROUNDS_PER_SLOT
+
+        t0 = time.perf_counter()
+        pool = state.online_ids(slot)
+        t1 = time.perf_counter()
+        picked = selector.select(n_clients, min(K, pool.size), r,
+                                 available=pool)
+        t2 = time.perf_counter()
+        clients.ensure(picked)
+        state.record_jobs(picked)
+        clients.release()
+        t3 = time.perf_counter()
+
+        avail_s += t1 - t0
+        sel_s += t2 - t1
+        mat_s += t3 - t2
+        picked_sizes.append(len(picked))
+
+    total_ms = (avail_s + sel_s + mat_s) * 1000 / rounds
+    assert clients.materialized == 0
+    return {
+        "n_clients": n_clients,
+        "rounds": rounds,
+        "participants_per_round": K,
+        "rounds_per_slot": ROUNDS_PER_SLOT,
+        "availability_ms_per_round": round(avail_s * 1000 / rounds, 4),
+        "selection_ms_per_round": round(sel_s * 1000 / rounds, 4),
+        "materialization_ms_per_round": round(mat_s * 1000 / rounds, 4),
+        "overhead_ms_per_round": round(total_ms, 4),
+        "state_bytes": int(state.nbytes),
+        "state_mb": round(state.nbytes / (1024 * 1024), 2),
+        "mean_picked": round(float(np.mean(picked_sizes)), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long 1k/10k pass with the same JSON shape")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_scale.json"))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        populations, rounds = [1_000, 10_000], 64
+    else:
+        populations, rounds = [1_000, 100_000, 1_000_000], 128
+
+    t_start = time.perf_counter()
+    sweep = [bench_population(n, rounds) for n in populations]
+    smallest, largest = sweep[0], sweep[-1]
+    ratio = largest["overhead_ms_per_round"] / smallest["overhead_ms_per_round"]
+
+    payload = {
+        "schema": "bench_scale/v1",
+        "smoke": args.smoke,
+        "seed": SEED,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "scenario": {
+            "availability": "markov",
+            "offline_fraction": OFFLINE_FRACTION,
+            "churn_rate": CHURN_RATE,
+            "participants_per_round": K,
+            "per_client_samples": PER_CLIENT,
+            "rounds_per_slot": ROUNDS_PER_SLOT,
+        },
+        "sweep": sweep,
+        "overhead_ratio_largest_vs_smallest": round(ratio, 2),
+        "largest_state_mb": largest["state_mb"],
+        "bench_wall_s": round(time.perf_counter() - t_start, 2),
+    }
+    out_path = os.path.abspath(args.out)
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+
+    print(f"wrote {out_path}")
+    for entry in sweep:
+        print(f"N={entry['n_clients']:>9,}: "
+              f"{entry['overhead_ms_per_round']:7.3f} ms/round "
+              f"(avail {entry['availability_ms_per_round']:.3f} + "
+              f"select {entry['selection_ms_per_round']:.3f} + "
+              f"materialize {entry['materialization_ms_per_round']:.3f}), "
+              f"state {entry['state_mb']} MB")
+    print(f"overhead ratio {largest['n_clients']:,} vs "
+          f"{smallest['n_clients']:,}: {ratio:.2f}x "
+          f"(acceptance: <= 10x at fixed K={K})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

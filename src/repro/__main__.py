@@ -40,6 +40,8 @@ from repro.harness.config import (
     VALID_METHODS,
     VALID_PARTITIONS,
     VALID_STALENESS,
+    VALID_TOPOLOGIES,
+    VALID_FLEET_MODES,
     ExperimentConfig,
 )
 from repro.harness.runner import run_experiment
@@ -132,6 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dispatch", default="random", choices=VALID_DISPATCH,
                         help="async job dispatch among online idle clients: "
                              "uniform, or fairness (fewest jobs first)")
+    parser.add_argument("--topology", default="flat", choices=VALID_TOPOLOGIES,
+                        help="aggregation topology: flat (clients -> cloud) "
+                             "or hier (clients -> edge servers -> cloud)")
+    parser.add_argument("--edges", type=int, default=2,
+                        help="edge-server count for --topology hier")
+    parser.add_argument("--fleet-mode", default="eager",
+                        choices=VALID_FLEET_MODES,
+                        help="client materialization: eager builds every "
+                             "Client up front; lazy materializes only each "
+                             "round's participants (bit-identical history)")
     parser.add_argument("--attack", default="none", choices=VALID_ATTACKS,
                         help="adversarial fleet: poison a seeded malicious "
                              "subset's data (label_flip, backdoor) or their "
@@ -260,6 +272,9 @@ def main(argv: list[str] | None = None) -> int:
             dropout_prob=args.dropout_prob,
             completeness=args.completeness,
             dispatch=args.dispatch,
+            topology=args.topology,
+            n_edges=args.edges,
+            fleet_mode=args.fleet_mode,
             attack=args.attack,
             malicious_fraction=args.malicious_fraction,
             attack_scale=args.attack_scale,

@@ -45,8 +45,11 @@ from repro.data.dataset import ArrayDataset
 from repro.fl.async_.events import ClientJob, EventQueue
 from repro.fl.async_.staleness import PolynomialStaleness, StalenessWeighting
 from repro.fl.client import Client, ClientUpdate
+from repro.fl.hierarchical import fold_edges
 from repro.fl.simulation import EventRecord, FLConfig, History, RoundRecord
 from repro.fl.strategies.base import Strategy, combine_updates
+from repro.fleet.columnar import FleetState
+from repro.fleet.scale import is_client_provider
 from repro.fleet.simulator import FleetSimulator
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
@@ -108,9 +111,15 @@ class AsyncFederatedServer:
         attack=None,
         defense=None,
         faults: FaultPlan | None = None,
+        topology: str = "flat",
+        n_edges: int = 2,
     ) -> None:
-        if not clients:
+        if len(clients) == 0:
             raise ValueError("need at least one client")
+        if topology not in ("flat", "hier"):
+            raise ValueError(f"topology must be 'flat' or 'hier', got {topology!r}")
+        if topology == "hier" and n_edges <= 0:
+            raise ValueError("n_edges must be positive")
         if clock is None:
             raise ValueError(
                 "asynchronous aggregation needs a VirtualClock — arrival "
@@ -147,6 +156,11 @@ class AsyncFederatedServer:
             )
 
         self.clients = clients
+        self.topology = topology
+        self.n_edges = n_edges
+        # Lazy providers (repro.fleet.scale) materialize participants per
+        # executor batch; a plain list is the historical eager population.
+        self._lazy = is_client_provider(clients)
         self.test_set = test_set
         self.strategy = strategy
         self.config = config
@@ -179,8 +193,18 @@ class AsyncFederatedServer:
         # Dispatch choices are consumed strictly in event order, so one
         # sequential stream is deterministic under every backend.
         self._dispatch_rng = np.random.default_rng(config.seed + 29)
-        # Per-client dispatched-job counts, driving the fairness policy.
-        self.jobs_dispatched = {c.client_id: 0 for c in clients}
+        # Columnar per-client state; its ``jobs_served`` column drives the
+        # fairness policy with one partial sort instead of a Python
+        # min-scan over the pool.
+        self.fleet_state = FleetState(
+            len(clients),
+            config.seed,
+            availability=fleet.availability.columnar if fleet is not None else None,
+            shard_sizes=(
+                clients.shard_sizes if self._lazy
+                else np.array([c.n_samples for c in clients], dtype=np.int64)
+            ),
+        )
         self.history = History()
         self.discarded_updates = 0
         # Arrivals whose upload was lost to fleet connectivity dropout.
@@ -203,6 +227,19 @@ class AsyncFederatedServer:
         self._loop: dict | None = None
         self._loss = SoftmaxCrossEntropy()
 
+    @property
+    def jobs_dispatched(self) -> dict[int, int]:
+        """Dict view of the columnar jobs-served counts (checkpoint/API
+        compatible with the pre-columnar per-client dict)."""
+        col = self.fleet_state.jobs_served
+        return {cid: int(col[cid]) for cid in range(len(self.clients))}
+
+    @jobs_dispatched.setter
+    def jobs_dispatched(self, counts: dict[int, int]) -> None:
+        self.fleet_state.jobs_served[:] = 0
+        for cid, n in counts.items():
+            self.fleet_state.jobs_served[int(cid)] = int(n)
+
     # -- dispatch -----------------------------------------------------------
     def _pick_client(self, idle: set[int], now: float) -> int | None:
         """One idle client to dispatch to, or None when nobody is reachable.
@@ -212,14 +249,17 @@ class AsyncFederatedServer:
         the fewest dispatched jobs (ties by id) instead of a uniform draw,
         so slow-but-reachable devices keep getting work.
         """
-        pool = sorted(idle)
+        pool = np.fromiter(idle, dtype=np.int64, count=len(idle))
+        pool.sort()
         if self.fleet is not None:
             pool = self.fleet.online_ids(now, pool)
-            if not pool:
+            if pool.size == 0:
                 return None
         if self.dispatch == "fairness":
-            return min(pool, key=lambda cid: (self.jobs_dispatched[cid], cid))
-        return int(pool[self._dispatch_rng.integers(len(pool))])
+            # One partial sort over the jobs-served column — same winner
+            # as the historical min((jobs, id)) scan.
+            return int(self.fleet_state.fairest(pool, 1)[0])
+        return int(pool[self._dispatch_rng.integers(pool.size)])
 
     def _dispatch_until_full(
         self,
@@ -242,7 +282,7 @@ class AsyncFederatedServer:
             if cid is None:
                 break
             batches = n_local_batches(
-                self.clients[cid].n_samples, cfg.local_epochs, cfg.batch_size
+                self.fleet_state.n_samples(cid), cfg.local_epochs, cfg.batch_size
             )
             if self.fleet is not None:
                 batches = self.fleet.batch_budget(next_job, cid, batches)
@@ -258,7 +298,7 @@ class AsyncFederatedServer:
             queue.push(job)
             in_flight[job.job_idx] = job
             idle.discard(cid)
-            self.jobs_dispatched[cid] += 1
+            self.fleet_state.record_jobs([cid])
             next_job += 1
             if self.tracer is not None:
                 idle_t0 = self._idle_since.pop(cid, None)
@@ -313,6 +353,10 @@ class AsyncFederatedServer:
             )
             tr = self.tracer
             ids = [j.client_id for j in group]
+            if self._lazy:
+                # Materialize the batch parent-side, release after: the
+                # resident Client set stays O(batch), not O(N).
+                self.clients.ensure(ids)
             if tr is None:
                 updates = self.executor.run_round(ctx, ids)
                 absorb_fault_stats(self.executor, self.fault_totals, self.clock)
@@ -330,6 +374,8 @@ class AsyncFederatedServer:
                     tr.metrics.inc("rt.ipc.bytes_in", ipc["in"])
             for j, update in zip(group, updates):
                 computed[j.job_idx] = update
+            if self._lazy:
+                self.clients.release(ids)
         return computed.pop(job.job_idx)
 
     # -- aggregation --------------------------------------------------------
@@ -348,9 +394,24 @@ class AsyncFederatedServer:
 
         w0 = time.time()
         t0 = time.perf_counter()
-        base = np.asarray(self.strategy.impact_factors(updates, agg_idx), dtype=float)
+        # Hierarchical topology: fold the window into per-edge FedAvg
+        # pseudo-updates first.  Staleness factors and (delta-form)
+        # dispatch anchors fold with the same sample weights, so the
+        # cloud-level strategy — and any robust defense — runs over the
+        # edges exactly as it runs over clients in the flat topology.
+        agg_updates = updates
+        agg_factors = factors
+        anchors = shares = members = None
+        if self.topology == "hier":
+            agg_updates, agg_factors, anchors, shares, members = fold_edges(
+                updates, self.n_edges, factors=factors,
+                anchors=[job.global_weights for job, _, _, _ in buffer],
+            )
+        base = np.asarray(
+            self.strategy.impact_factors(agg_updates, agg_idx), dtype=float
+        )
         t1 = time.perf_counter()
-        alphas = base * factors
+        alphas = base * agg_factors
         total = float(alphas.sum())
         agg_info = None
         if not total > 0:
@@ -370,11 +431,19 @@ class AsyncFederatedServer:
                 # weight form (mixing toward w + combined is exactly the
                 # (1-mix)·w + mix·combined step of the mean path).
                 if self.delta_mix:
-                    rows = np.stack([
-                        u.weights - job.global_weights for job, u, _, _ in buffer
-                    ])
+                    if anchors is not None:
+                        rows = np.stack([
+                            u.weights - a for u, a in zip(agg_updates, anchors)
+                        ])
+                    else:
+                        rows = np.stack([
+                            u.weights - job.global_weights for job, u, _, _ in buffer
+                        ])
                 else:
-                    rows = np.stack([u.weights for u in updates]) - self.global_weights
+                    rows = (
+                        np.stack([u.weights for u in agg_updates])
+                        - self.global_weights
+                    )
                 # One vote per client per window: a fast client can land
                 # several updates in one buffer, so row-wise statistics
                 # would let a 20%-malicious fleet occupy half a flush
@@ -383,7 +452,7 @@ class AsyncFederatedServer:
                 # robust estimator sees one voice per participant.  For
                 # the mean rule this is a no-op by associativity.
                 grouped: dict[int, list[int]] = {}
-                for pos, u in enumerate(updates):
+                for pos, u in enumerate(agg_updates):
                     grouped.setdefault(u.client_id, []).append(pos)
                 defense_clients = list(grouped)
                 voice_rows = []
@@ -406,25 +475,47 @@ class AsyncFederatedServer:
             elif self.delta_mix:
                 # FedBuff's delta form: w <- w + eta * sum_i a_i (w_i - w_i^0),
                 # where w_i^0 is the model version the job was dispatched
-                # against.  Staleness decays the step through `mix` and the
+                # against (the edge's sample-weighted anchor under hier).
+                # Staleness decays the step through `mix` and the
                 # normalized per-update weights.
                 normalized = np.asarray(alphas, dtype=float)
                 normalized = normalized / normalized.sum()
-                deltas = np.stack([
-                    u.weights - job.global_weights for job, u, _, _ in buffer
-                ])
+                if anchors is not None:
+                    deltas = np.stack([
+                        u.weights - a for u, a in zip(agg_updates, anchors)
+                    ])
+                else:
+                    deltas = np.stack([
+                        u.weights - job.global_weights for job, u, _, _ in buffer
+                    ])
                 combined_delta = normalized.astype(deltas.dtype, copy=False) @ deltas
                 self.global_weights = self.global_weights + mix * combined_delta
             else:
-                combined = combine_updates(updates, alphas, normalize=True)
+                combined = combine_updates(agg_updates, alphas, normalize=True)
                 self.global_weights = (1.0 - mix) * self.global_weights + mix * combined
         t2 = time.perf_counter()
-        self.strategy.on_round_end(updates, agg_idx)
+        self.strategy.on_round_end(agg_updates, agg_idx)
+
+        if total > 0 and shares is not None:
+            # Effective per-client factors implied by (edge FedAvg) x
+            # (cloud alphas): cloud weight times within-edge sample share.
+            record_alphas = np.empty(len(updates))
+            for e, positions in enumerate(members):
+                for p in positions:
+                    record_alphas[p] = alphas[e] * shares[p]
+            mass = record_alphas.sum()
+            record_alphas = (
+                record_alphas / mass if mass > 0 else np.zeros(len(updates))
+            )
+        elif total > 0:
+            record_alphas = alphas / total
+        else:
+            record_alphas = np.zeros(len(updates))
 
         record = RoundRecord(
             round_idx=agg_idx,
             participants=[u.client_id for u in updates],
-            impact_factors=alphas / total if total > 0 else np.zeros_like(alphas),
+            impact_factors=record_alphas,
             client_losses_before=np.array([u.loss_before for u in updates]),
             client_losses_after=np.array([u.loss_after for u in updates]),
             client_sizes=np.array([u.n_samples for u in updates]),
@@ -438,11 +529,15 @@ class AsyncFederatedServer:
                 if self.attack is not None else []
             ),
             rejected_updates=(
-                [defense_clients[i] for i in agg_info.rejected]
+                self._voice_clients(
+                    agg_info.rejected, defense_clients, updates, members
+                )
                 if agg_info is not None else []
             ),
             clipped_updates=(
-                [defense_clients[i] for i in agg_info.clipped]
+                self._voice_clients(
+                    agg_info.clipped, defense_clients, updates, members
+                )
                 if agg_info is not None else []
             ),
         )
@@ -457,6 +552,18 @@ class AsyncFederatedServer:
                 self._evaluate(record)
         self.history.append(record)
         return record
+
+    @staticmethod
+    def _voice_clients(indices, defense_clients, updates, members) -> list[int]:
+        """Defense verdict voices → client ids.  Flat: a voice is one
+        client.  Hier: a voice is an edge, standing for every client
+        folded into it."""
+        if members is None:
+            return [defense_clients[i] for i in indices]
+        out: list[int] = []
+        for i in indices:
+            out.extend(updates[p].client_id for p in members[defense_clients[i]])
+        return out
 
     def _trace_aggregation(
         self,
@@ -491,6 +598,7 @@ class AsyncFederatedServer:
             m.inc("sim.defense.updates_rejected", len(record.rejected_updates))
             m.inc("sim.defense.updates_clipped", len(record.clipped_updates))
         m.observe("sim.window.span_s", record.sim_makespan_s)
+        m.set_gauge("rt.fleet.state_bytes", self.fleet_state.nbytes)
         for s in record.staleness or ():
             m.observe("sim.staleness", s)
         tr.maybe_snapshot(now)
@@ -547,7 +655,7 @@ class AsyncFederatedServer:
         captures all of it (queue, slots, buffer, cursors) at once."""
         return {
             "queue": EventQueue(),
-            "idle": {c.client_id for c in self.clients},
+            "idle": set(range(len(self.clients))),
             "in_flight": {},   # job_idx -> ClientJob
             "computed": {},    # job_idx -> ClientUpdate (trained, unpopped)
             "buffer": [],      # (job, update, staleness, factor)

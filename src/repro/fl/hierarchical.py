@@ -47,6 +47,56 @@ def assign_edges(client_ids: list[int], n_edges: int) -> dict[int, int]:
     return {cid: i % n_edges for i, cid in enumerate(sorted(client_ids))}
 
 
+def fold_edges(
+    updates: list[ClientUpdate],
+    n_edges: int,
+    factors: np.ndarray | None = None,
+    anchors: list[np.ndarray] | None = None,
+) -> tuple[list[ClientUpdate], np.ndarray | None, list[np.ndarray] | None,
+           np.ndarray, list[list[int]]]:
+    """Fold client updates into edge pseudo-updates (both engines' hier step).
+
+    The effective edge count is ``min(n_edges, #distinct clients)`` so a
+    thin round (or a small async buffer) still populates every edge.
+    Per-edge folding is sample-weighted FedAvg (:func:`edge_aggregate`);
+    optional per-update scalars ``factors`` (the async engine's staleness
+    factors) and vector ``anchors`` (delta-form dispatch weights) fold
+    with the same weights, so an edge aggregate behaves exactly like one
+    large client whose members trained together.
+
+    Returns ``(edge_updates, edge_factors, edge_anchors, shares,
+    members)`` where ``shares[i]`` is update ``i``'s sample share within
+    its edge and ``members[e]`` lists the update positions folded into
+    edge ``e`` — enough to expand cloud-level alphas back to effective
+    per-client ones for the round record.
+    """
+    if not updates:
+        raise ValueError("cannot fold an empty update list")
+    distinct = sorted({u.client_id for u in updates})
+    edge_of = assign_edges(distinct, min(n_edges, len(distinct)))
+    n_eff = max(edge_of.values()) + 1 if edge_of else 1
+    members: list[list[int]] = [[] for _ in range(n_eff)]
+    for pos, u in enumerate(updates):
+        members[edge_of[u.client_id]].append(pos)
+    edge_updates = []
+    edge_factors = None if factors is None else np.empty(n_eff)
+    edge_anchors = None if anchors is None else []
+    shares = np.empty(len(updates))
+    for e, positions in enumerate(members):
+        group = [updates[p] for p in positions]
+        edge_updates.append(edge_aggregate(group, edge_id=e))
+        n = np.array([u.n_samples for u in group], dtype=float)
+        w = n / n.sum()
+        for p, share in zip(positions, w):
+            shares[p] = share
+        if factors is not None:
+            edge_factors[e] = float(w @ np.asarray(factors, dtype=float)[positions])
+        if anchors is not None:
+            stacked = np.stack([anchors[p] for p in positions])
+            edge_anchors.append(w.astype(stacked.dtype, copy=False) @ stacked)
+    return edge_updates, edge_factors, edge_anchors, shares, members
+
+
 class HierarchicalAggregator:
     """Two-level aggregation: per-edge FedAvg, pluggable cloud strategy.
 

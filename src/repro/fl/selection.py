@@ -19,9 +19,19 @@ from __future__ import annotations
 import numpy as np
 
 
-def _candidate_pool(n_clients: int, k: int, available: list[int] | None) -> np.ndarray:
-    """The round's candidate ids, validated against K."""
-    pool = np.arange(n_clients) if available is None else np.asarray(sorted(available))
+def _candidate_pool(n_clients: int, k: int, available) -> np.ndarray:
+    """The round's candidate ids (sorted), validated against K.
+
+    ``available`` may be a list or an id array straight from the fleet's
+    online mask; selection operates on id arrays end to end so a
+    million-client pool never round-trips through Python objects.
+    """
+    if available is None:
+        pool = np.arange(n_clients)
+    else:
+        pool = np.asarray(available, dtype=np.int64)
+        if pool.size > 1 and not (pool[1:] >= pool[:-1]).all():
+            pool = np.sort(pool)
     if k > pool.size:
         raise ValueError("cannot select more clients than are available")
     return pool
@@ -68,15 +78,18 @@ class RoundRobinSelection:
             picked = [(self._cursor + i) % n_clients for i in range(k)]
             self._cursor = (self._cursor + k) % n_clients
             return picked
-        online = set(int(c) for c in pool)
-        picked: list[int] = []
-        offset = 0
-        while len(picked) < k and offset < n_clients:
-            cid = (self._cursor + offset) % n_clients
-            if cid in online:
-                picked.append(cid)
-            offset += 1
-        self._cursor = (self._cursor + offset) % n_clients
+        if k == 0:
+            return []
+        # Walk the ring from the cursor without touching offline ids:
+        # order the pool by distance-from-cursor and take the first k —
+        # identical picks (and cursor advance) to a scalar walk that
+        # skips offline clients, but O(|pool| log |pool|) vectorized.
+        relative = (pool - self._cursor) % n_clients
+        order = np.argsort(relative)
+        take = order[:k]
+        picked = [int(c) for c in pool[take]]
+        # One past the ring position of the k-th pick, as the walk left it.
+        self._cursor = (self._cursor + int(relative[take[-1]]) + 1) % n_clients
         return picked
 
     def observe(self, client_ids: list[int], losses: np.ndarray) -> None:

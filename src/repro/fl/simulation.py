@@ -32,7 +32,9 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.fl.client import Client, ClientUpdate
+from repro.fl.hierarchical import fold_edges
 from repro.fl.strategies.base import Strategy, combine_updates
+from repro.fleet.columnar import FleetState
 from repro.fleet.simulator import FleetSimulator
 from repro.nn.losses import SoftmaxCrossEntropy, evaluate_loss
 from repro.nn.metrics import top1_accuracy
@@ -309,15 +311,40 @@ class FederatedSimulation:
         attack=None,
         defense=None,
         faults: FaultPlan | None = None,
+        topology: str = "flat",
+        n_edges: int = 2,
     ) -> None:
-        if not clients:
+        if len(clients) == 0:
             raise ValueError("need at least one client")
         if config.clients_per_round > len(clients):
             raise ValueError(
                 f"clients_per_round={config.clients_per_round} exceeds population "
                 f"{len(clients)}"
             )
+        if topology not in ("flat", "hier"):
+            raise ValueError(f"topology must be 'flat' or 'hier', got {topology!r}")
+        if topology == "hier" and n_edges <= 0:
+            raise ValueError("n_edges must be positive")
         self.clients = clients
+        self.topology = topology
+        self.n_edges = n_edges
+        # Lazy providers (repro.fleet.scale) materialize participants per
+        # round; a plain list is the historical eager population.
+        self._lazy = hasattr(clients, "ensure") and hasattr(clients, "release")
+        # Columnar per-client state: shard sizes answered without touching
+        # Client objects, plus the availability engine's whole-fleet view.
+        self.fleet_state = None
+        if fleet is not None or self._lazy:
+            if self._lazy:
+                shard_sizes = clients.shard_sizes
+            else:
+                shard_sizes = np.array([c.n_samples for c in clients], dtype=np.int64)
+            self.fleet_state = FleetState(
+                len(clients),
+                config.seed,
+                availability=fleet.availability.columnar if fleet is not None else None,
+                shard_sizes=shard_sizes,
+            )
         self.test_set = test_set
         self.strategy = strategy
         self.config = config
@@ -360,6 +387,13 @@ class FederatedSimulation:
         self._next_round = 0
         self.history = History()
         self._loss = SoftmaxCrossEntropy()
+
+    def _n_samples(self, cid: int) -> int:
+        """A client's shard size — from the columnar state when present,
+        so size queries never materialize a lazy client."""
+        if self.fleet_state is not None:
+            return self.fleet_state.n_samples(cid)
+        return self.clients[cid].n_samples
 
     # -- one round ----------------------------------------------------------
     def sample_participants(
@@ -405,7 +439,7 @@ class FederatedSimulation:
             cid: self.fleet.batch_budget(
                 round_idx,
                 cid,
-                n_local_batches(self.clients[cid].n_samples, cfg.local_epochs,
+                n_local_batches(self._n_samples(cid), cfg.local_epochs,
                                 cfg.batch_size),
             )
             for cid in participants
@@ -468,7 +502,7 @@ class FederatedSimulation:
         cfg = self.config
         batches = {
             cid: n_local_batches(
-                self.clients[cid].n_samples, cfg.local_epochs, cfg.batch_size
+                self._n_samples(cid), cfg.local_epochs, cfg.batch_size
             )
             for cid in participants
         }
@@ -502,6 +536,10 @@ class FederatedSimulation:
         pool, wait_s, online_count = self._fleet_pool(round_idx)
         participants = self.sample_participants(round_idx, available=pool)
         budgets = self._fleet_budgets(round_idx, participants)
+        if self._lazy:
+            # Materialize the round's participants parent-side, before the
+            # executor dispatches; everything else stays virtual.
+            self.clients.ensure(participants)
         updates = self.collect_updates(participants, round_idx, budgets)
         if self.attack is not None:
             # The upload leaves the device poisoned; timing is unchanged
@@ -523,20 +561,42 @@ class FederatedSimulation:
 
         w0 = time.time()
         t0 = time.perf_counter()
-        alphas = self.strategy.impact_factors(updates, round_idx)
+        # Hierarchical topology: fold updates into per-edge FedAvg
+        # aggregates; the strategy — and any robust defense — then runs at
+        # the cloud level over the edge aggregates, exactly as H-FL
+        # deploys it.  The flat path aggregates the raw updates.
+        agg_updates = updates
+        shares = members = None
+        if self.topology == "hier":
+            agg_updates, _, _, shares, members = fold_edges(updates, self.n_edges)
+        alphas = self.strategy.impact_factors(agg_updates, round_idx)
         t1 = time.perf_counter()
         agg_info = None
         if self.defense is None:
-            self.global_weights = combine_updates(updates, alphas)
+            self.global_weights = combine_updates(agg_updates, alphas)
         else:
             # Robust rules act on deltas relative to the round's global
             # weights (translation-equivariant for median/Krum, essential
             # for norm clipping); the combined delta is re-anchored here.
-            deltas = np.stack([u.weights for u in updates]) - self.global_weights
+            deltas = np.stack([u.weights for u in agg_updates]) - self.global_weights
             combined, agg_info = self.defense.combine(deltas, alphas)
             self.global_weights = self.global_weights + combined
         t2 = time.perf_counter()
-        self.strategy.on_round_end(updates, round_idx)
+        self.strategy.on_round_end(agg_updates, round_idx)
+        if shares is not None:
+            # Effective per-client factors implied by (edge FedAvg) x
+            # (cloud alphas): cloud weight times within-edge sample share.
+            edge_alpha = np.asarray(alphas, dtype=float)
+            expanded = np.empty(len(updates))
+            for e, positions in enumerate(members):
+                for p in positions:
+                    expanded[p] = edge_alpha[e] * shares[p]
+            total_alpha = expanded.sum()
+            if total_alpha > 0:
+                expanded /= total_alpha
+            record_alphas = expanded
+        else:
+            record_alphas = alphas
 
         work_fractions = {}
         if budgets is not None:
@@ -546,7 +606,7 @@ class FederatedSimulation:
         record = RoundRecord(
             round_idx=round_idx,
             participants=kept,
-            impact_factors=np.asarray(alphas),
+            impact_factors=np.asarray(record_alphas),
             client_losses_before=np.array([u.loss_before for u in updates]),
             client_losses_after=np.array([u.loss_after for u in updates]),
             client_sizes=np.array([u.n_samples for u in updates]),
@@ -565,14 +625,16 @@ class FederatedSimulation:
                 if self.attack is not None else []
             ),
             rejected_updates=(
-                [updates[i].client_id for i in agg_info.rejected]
+                self._expand_edge_ids(agg_info.rejected, updates, members)
                 if agg_info is not None else []
             ),
             clipped_updates=(
-                [updates[i].client_id for i in agg_info.clipped]
+                self._expand_edge_ids(agg_info.clipped, updates, members)
                 if agg_info is not None else []
             ),
         )
+        if self._lazy:
+            self.clients.release()
         if self.tracer is not None:
             self._trace_round(record, timing, sim0, batches, (w0, t0, t1, t2))
         if self.test_set is not None and (
@@ -589,6 +651,21 @@ class FederatedSimulation:
                 self._eval_into(record)
         self.history.append(record)
         return record
+
+    @staticmethod
+    def _expand_edge_ids(indices, updates, members) -> list[int]:
+        """Map defense verdict indices back to client ids.
+
+        Flat topology: index i names ``updates[i]`` directly.  Hier: the
+        defense judged edge aggregates, so a rejected/clipped edge stands
+        for every client folded into it.
+        """
+        if members is None:
+            return [updates[i].client_id for i in indices]
+        out: list[int] = []
+        for e in indices:
+            out.extend(updates[p].client_id for p in members[e])
+        return out
 
     def _eval_into(self, record: RoundRecord) -> None:
         self.model.set_flat_weights(self.global_weights)
@@ -640,6 +717,8 @@ class FederatedSimulation:
             m.inc("sim.defense.updates_clipped", len(record.clipped_updates))
         if record.online_count is not None:
             m.set_gauge("sim.fleet.online", record.online_count)
+        if self.fleet_state is not None:
+            m.set_gauge("rt.fleet.state_bytes", self.fleet_state.nbytes)
         if timing is None or sim0 is None:
             return
         tr.span("round", CAT_WINDOW, track="server",

@@ -7,6 +7,12 @@ going on- and offline as simulated time advances), mid-round dropout
 (clients running a sampled fraction of their batch budget).  All behavior
 draws from dedicated ``(index, client)``-keyed seed streams, so fleet
 scenarios are bit-identical across every execution backend.
+
+Scale-out lives in two sibling modules: :mod:`repro.fleet.columnar`
+stores per-client attributes as columnar numpy arrays and advances
+availability for the whole fleet per slot (bit-identical to the scalar
+models), and :mod:`repro.fleet.scale` keeps million-client populations
+virtual, materializing only each round's sampled participants.
 """
 
 from repro.fleet.availability import (
@@ -19,6 +25,8 @@ from repro.fleet.availability import (
     SinusoidalAvailability,
     get_availability_model,
 )
+from repro.fleet.columnar import ColumnarAvailability, FleetState
+from repro.fleet.scale import LazyClientPool, StridedPartition, is_client_provider
 from repro.fleet.simulator import FleetSimulator
 
 __all__ = [
@@ -26,9 +34,14 @@ __all__ = [
     "AlwaysOn",
     "AvailabilityModel",
     "BernoulliAvailability",
+    "ColumnarAvailability",
     "FleetSimulator",
+    "FleetState",
     "LabelSkewAvailability",
+    "LazyClientPool",
     "MarkovAvailability",
     "SinusoidalAvailability",
+    "StridedPartition",
     "get_availability_model",
+    "is_client_provider",
 ]

@@ -22,6 +22,15 @@ The model family follows FLGo's ``system_simulator`` availability axis:
   distribution, after FLGo's ``y_max_first``: clients whose smallest held
   label is low are offline more often, coupling the *who-is-online*
   process to the non-IID structure the paper studies.
+
+Since the columnar fleet engine landed, these classes are thin views
+over :class:`repro.fleet.columnar.ColumnarAvailability`: every model
+holds a ``columnar`` engine that advances the *whole fleet's* online
+column per slot with vectorized draws, and ``online(cid, slot)`` is one
+cached-mask lookup.  The engine's draws are bit-identical to the
+original per-cell derivation (``client_round_rng(seed, slot, cid,
+STREAM_AVAILABILITY).random()``), which golden-hash tests pin, so the
+refactor cannot change any experiment's trace.
 """
 
 from __future__ import annotations
@@ -30,17 +39,23 @@ import math
 
 import numpy as np
 
+from repro.fleet.columnar import ColumnarAvailability
 from repro.runtime.seeding import (
     STREAM_AVAILABILITY,
     client_round_rng,
-    client_static_rng,
 )
 
 AVAILABILITY_MODELS = ("always", "bernoulli", "markov", "sinusoidal", "label_skew")
 
 
 class AvailabilityModel:
-    """Maps ``(client_id, slot)`` to an online/offline state."""
+    """Maps ``(client_id, slot)`` to an online/offline state.
+
+    Subclasses construct a :class:`ColumnarAvailability` engine and
+    delegate; scalar queries read the engine's per-slot mask cache, and
+    fleet-wide consumers (the simulator, selectors) use ``online_mask``
+    / ``online_ids`` directly to stay vectorized end to end.
+    """
 
     name: str = "base"
 
@@ -49,6 +64,7 @@ class AvailabilityModel:
             raise ValueError("n_clients must be positive")
         self.n_clients = n_clients
         self.seed = seed
+        self.columnar: ColumnarAvailability | None = None
 
     def _uniform(self, slot: int, client_id: int) -> float:
         """The cell's deterministic uniform draw in [0, 1)."""
@@ -57,7 +73,39 @@ class AvailabilityModel:
         )
 
     def online(self, client_id: int, slot: int) -> bool:
-        raise NotImplementedError
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        assert self.columnar is not None
+        return self.columnar.online(client_id, slot)
+
+    def online_mask(self, slot: int) -> np.ndarray:
+        """The whole fleet's online column for one slot (do not mutate).
+
+        Subclasses that override ``online()`` without a columnar engine
+        (``self.columnar is None``) fall back to a scalar loop, so exotic
+        models stay correct — just not vectorized.
+        """
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        if self.columnar is None:
+            return np.fromiter(
+                (self.online(cid, slot) for cid in range(self.n_clients)),
+                dtype=bool,
+                count=self.n_clients,
+            )
+        return self.columnar.mask(slot)
+
+    def online_ids(self, slot: int, ids: np.ndarray | None = None) -> np.ndarray:
+        """Sorted online ids for one slot, optionally within ``ids``."""
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        if self.columnar is None:
+            mask = self.online_mask(slot)
+            if ids is None:
+                return np.flatnonzero(mask)
+            ids = np.sort(np.asarray(ids, dtype=np.int64))
+            return ids[mask[ids]]
+        return self.columnar.online_ids(slot, ids)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_clients={self.n_clients})"
@@ -67,6 +115,10 @@ class AlwaysOn(AvailabilityModel):
     """The ideal fleet: every device reachable in every slot."""
 
     name = "always"
+
+    def __init__(self, n_clients: int, seed: int) -> None:
+        super().__init__(n_clients, seed)
+        self.columnar = ColumnarAvailability("always", n_clients, seed)
 
     def online(self, client_id: int, slot: int) -> bool:
         return True
@@ -82,9 +134,9 @@ class BernoulliAvailability(AvailabilityModel):
         if not 0.0 <= offline_fraction < 1.0:
             raise ValueError("offline_fraction must be in [0, 1)")
         self.offline_fraction = offline_fraction
-
-    def online(self, client_id: int, slot: int) -> bool:
-        return self._uniform(slot, client_id) >= self.offline_fraction
+        self.columnar = ColumnarAvailability(
+            "bernoulli", n_clients, seed, offline_fraction=offline_fraction
+        )
 
 
 class MarkovAvailability(AvailabilityModel):
@@ -102,10 +154,11 @@ class MarkovAvailability(AvailabilityModel):
     transition probability to stay <= 1 is scaled down as a whole (both
     probabilities shrink by the same factor), preserving the stationary
     distribution instead of silently distorting it.  Slot 0 draws from
-    the stationary distribution.  States are cached per client so
-    reaching slot ``t`` costs O(t) once and O(1) afterwards; each
-    transition consumes the ``(slot, client)`` availability cell, so the
-    trace is identical no matter which slots are queried first.
+    the stationary distribution.  The columnar engine steps the whole
+    fleet's on/off column forward one slot at a time (with packed
+    checkpoints bounding backward-query replay); each transition
+    consumes the ``(slot, client)`` availability cell, so the trace is
+    identical no matter which slots are queried first.
     """
 
     name = "markov"
@@ -123,30 +176,15 @@ class MarkovAvailability(AvailabilityModel):
         if churn_rate <= 0.0:
             raise ValueError("churn_rate must be positive")
         self.offline_fraction = offline_fraction
-        # Cap the switching intensity so both transition probabilities are
-        # valid while their ratio — hence the stationary offline mass —
-        # is preserved exactly.
-        max_rate = 1.0 / max(offline_fraction, 1.0 - offline_fraction)
-        rate = min(churn_rate, max_rate)
-        self.p_on_to_off = rate * offline_fraction
-        self.p_off_to_on = rate * (1.0 - offline_fraction)
-        self._traces: dict[int, list[bool]] = {}
-
-    def online(self, client_id: int, slot: int) -> bool:
-        if slot < 0:
-            raise ValueError("slot must be non-negative")
-        trace = self._traces.setdefault(client_id, [])
-        while len(trace) <= slot:
-            t = len(trace)
-            u = self._uniform(t, client_id)
-            if t == 0:
-                state = u >= self.offline_fraction
-            elif trace[-1]:
-                state = u >= self.p_on_to_off
-            else:
-                state = u < self.p_off_to_on
-            trace.append(state)
-        return trace[slot]
+        self.columnar = ColumnarAvailability(
+            "markov",
+            n_clients,
+            seed,
+            offline_fraction=offline_fraction,
+            churn_rate=churn_rate,
+        )
+        self.p_on_to_off = self.columnar.p_on_to_off
+        self.p_off_to_on = self.columnar.p_off_to_on
 
 
 class SinusoidalAvailability(AvailabilityModel):
@@ -176,19 +214,20 @@ class SinusoidalAvailability(AvailabilityModel):
         if period_slots <= 1:
             raise ValueError("period_slots must be > 1")
         self.offline_fraction = offline_fraction
-        self.amplitude = min(offline_fraction, 1.0 - offline_fraction)
+        self.columnar = ColumnarAvailability(
+            "sinusoidal",
+            n_clients,
+            seed,
+            offline_fraction=offline_fraction,
+            period_slots=period_slots,
+        )
+        self.amplitude = self.columnar.amplitude
         self.period_slots = period_slots
-        self._phases = [
-            float(client_static_rng(seed, cid, STREAM_AVAILABILITY).uniform(0, 2 * math.pi))
-            for cid in range(n_clients)
-        ]
+        self._phases = self.columnar.phases
 
     def p_online(self, client_id: int, slot: int) -> float:
         wave = math.sin(2 * math.pi * slot / self.period_slots + self._phases[client_id])
         return (1.0 - self.offline_fraction) + self.amplitude * wave
-
-    def online(self, client_id: int, slot: int) -> bool:
-        return self._uniform(slot, client_id) < self.p_online(client_id, slot)
 
 
 class LabelSkewAvailability(AvailabilityModel):
@@ -222,9 +261,9 @@ class LabelSkewAvailability(AvailabilityModel):
             (1.0 - beta) + beta * (int(np.min(y)) / max_label if max_label else 1.0)
             for y in labels
         ]
-
-    def online(self, client_id: int, slot: int) -> bool:
-        return self._uniform(slot, client_id) < self.rates[client_id]
+        self.columnar = ColumnarAvailability(
+            "label_skew", n_clients, seed, rates=np.asarray(self.rates, dtype=np.float64)
+        )
 
 
 def get_availability_model(

@@ -27,6 +27,8 @@ bit-identical across the serial / thread / process execution backends.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.fleet.availability import AvailabilityModel
 from repro.runtime.seeding import (
     STREAM_COMPLETENESS,
@@ -80,19 +82,22 @@ class FleetSimulator:
     def is_online(self, client_id: int, time_s: float) -> bool:
         return self.availability.online(client_id, self.slot(time_s))
 
-    def online_ids(self, time_s: float, ids: list[int] | None = None) -> list[int]:
-        """The online subset of ``ids`` (default: all clients) at ``time_s``."""
-        slot = self.slot(time_s)
-        pool = range(self.n_clients) if ids is None else sorted(ids)
-        return [cid for cid in pool if self.availability.online(cid, slot)]
+    def online_ids(self, time_s: float, ids=None) -> np.ndarray:
+        """The online subset of ``ids`` (default: all clients) at ``time_s``.
+
+        Returns a sorted int64 id array; callers thread it straight into
+        the selectors so a million-client pool never materializes Python
+        ints.
+        """
+        return self.availability.online_ids(self.slot(time_s), ids)
 
     def wait_for_online(
         self,
         time_s: float,
         min_count: int = 1,
-        ids: list[int] | None = None,
+        ids=None,
         max_slots: int = 100_000,
-    ) -> tuple[float, list[int]]:
+    ) -> tuple[float, np.ndarray]:
         """Advance time slot-by-slot until ``min_count`` of ``ids`` are online.
 
         Returns ``(new_time, online_ids)``; a real server facing an empty
@@ -104,16 +109,19 @@ class FleetSimulator:
         online = self.online_ids(time_s, ids)
         t = time_s
         for _ in range(max_slots):
-            if len(online) >= min_count:
+            if online.size >= min_count:
                 if self.metrics is not None and t > time_s:
                     self.metrics.inc("sim.fleet.wait_s", t - time_s)
                     self.metrics.inc("sim.fleet.waits")
                 return t, online
             t = (self.slot(t) + 1) * self.slot_s
             online = self.online_ids(t, ids)
-        if len(online) >= min_count:
+        if online.size >= min_count:
             return t, online
-        pool = list(range(self.n_clients)) if ids is None else sorted(ids)
+        if ids is None:
+            pool = np.arange(self.n_clients, dtype=np.int64)
+        else:
+            pool = np.sort(np.asarray(ids, dtype=np.int64))
         return time_s, pool
 
     # -- connectivity --------------------------------------------------------

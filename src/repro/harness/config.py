@@ -49,6 +49,10 @@ VALID_DISPATCH = DISPATCH_POLICIES
 # impact-factor-weighted mean.
 VALID_ATTACKS = ("none", *ATTACK_MODELS)
 VALID_AGGREGATORS = ROBUST_AGGREGATORS
+# Aggregation topology (repro.fl.hierarchical) and client materialization
+# (repro.fleet.scale).
+VALID_TOPOLOGIES = ("flat", "hier")
+VALID_FLEET_MODES = ("eager", "lazy")
 
 
 @dataclass(frozen=True)
@@ -162,6 +166,17 @@ class ExperimentConfig:
     dropout_prob: float = 0.0
     completeness: float = 1.0
     dispatch: str = "random"
+    # Aggregation topology (repro.fl.hierarchical): "flat" sends every
+    # update straight to the cloud; "hier" folds each round (sync) or
+    # buffer window (async) into n_edges edge-server FedAvg aggregates
+    # first, and the cloud strategy/defense runs over the edges (H-FL).
+    topology: str = "flat"
+    n_edges: int = 2
+    # Client materialization (repro.fleet.scale): "eager" builds every
+    # Client object up front (the historical path); "lazy" keeps the
+    # population virtual and materializes only each round's sampled
+    # participants (bit-identical histories, O(K) resident clients).
+    fleet_mode: str = "eager"
     # Adversarial fleet (repro.fl.robust): `attack` marks a seeded
     # malicious_fraction of clients malicious and poisons their data
     # (label_flip, backdoor) or their submitted updates (sign_flip,
@@ -283,6 +298,7 @@ class ExperimentConfig:
         self._validate_fleet()
         self._validate_robust()
         self._validate_faults()
+        self._validate_scale_out()
         if self.aggregation != "sync":
             if self.method == "singleset":
                 raise ValueError(
@@ -353,6 +369,65 @@ class ExperimentConfig:
                 "aggregation='fedbuff' (the agent is built for "
                 "K=buffer_size and buffers fill from whoever arrives)"
             )
+
+    def _validate_scale_out(self) -> None:
+        if self.topology not in VALID_TOPOLOGIES:
+            raise ValueError(f"topology must be one of {VALID_TOPOLOGIES}")
+        if self.n_edges <= 0:
+            raise ValueError("n_edges must be positive")
+        if self.fleet_mode not in VALID_FLEET_MODES:
+            raise ValueError(f"fleet_mode must be one of {VALID_FLEET_MODES}")
+        if self.topology == "hier":
+            if self.method == "singleset":
+                raise ValueError(
+                    "singleset is centralized training — an aggregation "
+                    "topology does not apply to it"
+                )
+            if self.aggregation == "fedasync":
+                raise ValueError(
+                    "fedasync flushes one update at a time — there is "
+                    "nothing to fold into edges; use sync or fedbuff"
+                )
+            window = (
+                self.buffer_size if self.aggregation == "fedbuff"
+                else self.clients_per_round
+            )
+            if self.n_edges > window:
+                raise ValueError(
+                    f"n_edges={self.n_edges} exceeds the aggregation window "
+                    f"({window} updates) — every edge needs at least one "
+                    "member"
+                )
+            if self.method == "feddrl" and self.aggregation == "fedbuff":
+                raise ValueError(
+                    "feddrl needs a fixed participation level; under "
+                    "fedbuff a fast client can land twice in one window, "
+                    "leaving fewer than n_edges distinct edges — use "
+                    "topology='hier' with aggregation='sync'"
+                )
+        if self.fleet_mode == "lazy":
+            if self.method == "singleset":
+                raise ValueError(
+                    "singleset is centralized training — lazy client "
+                    "materialization does not apply to it"
+                )
+            if self.backend == "process":
+                raise ValueError(
+                    "the process backend ships every client to its workers "
+                    "at pool construction — lazy materialization needs the "
+                    "serial or thread backend"
+                )
+            if self.attack != "none":
+                raise ValueError(
+                    "attacks poison client shards at build time, which "
+                    "materializes the whole fleet — use fleet_mode='eager'"
+                )
+            if self.availability == "label_skew":
+                raise ValueError(
+                    "label_skew availability reads every client's labels at "
+                    "build time — use fleet_mode='eager' or another "
+                    "availability model"
+                )
 
     def _validate_robust(self) -> None:
         if self.attack not in VALID_ATTACKS:

@@ -13,6 +13,7 @@ from repro.data.partition import get_partitioner
 from repro.data.synthetic import cifar100_like, fashion_like, mnist_like
 from repro.fl.async_ import AsyncFederatedServer, get_staleness_weighting
 from repro.fl.client import make_clients
+from repro.fleet.scale import LazyClientPool
 from repro.fl.robust import AttackModel, RobustAggregator
 from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
@@ -126,9 +127,14 @@ def build_strategy(cfg: ExperimentConfig) -> Strategy:
         agent = None
         if cfg.drl_pretrain_rounds > 0:
             agent = pretrain_feddrl_agent(cfg, drl_cfg)
-        participation = (
-            cfg.buffer_size if cfg.aggregation == "fedbuff" else cfg.clients_per_round
-        )
+        if cfg.topology == "hier":
+            # The cloud strategy sees one pseudo-update per edge server.
+            participation = cfg.n_edges
+        else:
+            participation = (
+                cfg.buffer_size if cfg.aggregation == "fedbuff"
+                else cfg.clients_per_round
+            )
         return FedDRL(
             clients_per_round=participation,
             drl_config=drl_cfg,
@@ -326,7 +332,12 @@ def build_simulation(
     set_default_dtype(cfg.dtype)
     train_set, test_set = build_dataset(cfg)
     parts = build_partition(cfg, train_set.y, np.random.default_rng(cfg.seed + 5))
-    clients = make_clients(train_set, parts, seed=cfg.seed + 11)
+    if cfg.fleet_mode == "lazy":
+        # Same shards, same per-client RNG derivation as make_clients —
+        # histories are bit-identical; only residency differs (O(K)).
+        clients = LazyClientPool(train_set, parts, seed=cfg.seed + 11)
+    else:
+        clients = make_clients(train_set, parts, seed=cfg.seed + 11)
     model_factory = build_model_factory(cfg, train_set)
     strategy = build_strategy(cfg)
     attack = build_attack(cfg)
@@ -359,12 +370,15 @@ def build_simulation(
             attack=attack,
             defense=defense,
             faults=faults,
+            topology=cfg.topology,
+            n_edges=cfg.n_edges,
         )
     else:
         sim = FederatedSimulation(
             clients, test_set, model_factory, strategy, build_fl_config(cfg),
             executor=executor, clock=build_clock(cfg), fleet=fleet,
             tracer=tracer, attack=attack, defense=defense, faults=faults,
+            topology=cfg.topology, n_edges=cfg.n_edges,
         )
     # The engine may have built its own serial default executor; the retry
     # policy applies to whichever executor ended up inside.

@@ -68,6 +68,19 @@ if TYPE_CHECKING:  # imported lazily to keep runtime free of an fl<->runtime cyc
 BACKENDS = ("serial", "thread", "process")
 
 
+def _client_lookup(clients):
+    """An id -> Client mapping over either a list or a lazy provider.
+
+    Lazy providers (:class:`repro.fleet.scale.LazyClientPool`) already
+    support ``[client_id]`` lookup and must not be iterated (that would
+    materialize the whole fleet), so they pass through unchanged;
+    materialized lists become the historical dict.
+    """
+    if hasattr(clients, "ensure") and hasattr(clients, "release"):
+        return clients
+    return {c.client_id: c for c in clients}
+
+
 @dataclass(frozen=True)
 class RoundContext:
     """Everything a worker needs to train one round's participants.
@@ -301,7 +314,7 @@ class SerialExecutor(Executor):
         self, clients: list[Client], model_factory, model=None,
         retry: RetryPolicy | None = None,
     ) -> None:
-        self.clients = {c.client_id: c for c in clients}
+        self.clients = _client_lookup(clients)
         # The caller may donate its workspace model (the simulation reuses
         # its evaluation model) — training overwrites all state anyway.
         self._model = model if model is not None else model_factory(np.random.default_rng(0))
@@ -354,7 +367,7 @@ class ThreadExecutor(Executor):
         retry: RetryPolicy | None = None,
     ) -> None:
         self.workers = max(1, workers or (os.cpu_count() or 1))
-        self.clients = {c.client_id: c for c in clients}
+        self.clients = _client_lookup(clients)
         self._model_factory = model_factory
         self._closed = False
         self._pool = ThreadPoolExecutor(
@@ -515,6 +528,12 @@ class ProcessExecutor(Executor):
     ) -> None:
         from repro.data.shm import share_clients
 
+        if hasattr(clients, "ensure") and hasattr(clients, "release"):
+            raise ValueError(
+                "the process backend ships every client to its workers at "
+                "pool construction — a lazy client pool would be fully "
+                "materialized; use the serial or thread backend"
+            )
         self.workers = max(1, workers or (os.cpu_count() or 1))
         if retry is not None:
             self.retry = retry

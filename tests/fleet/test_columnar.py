@@ -1,0 +1,239 @@
+"""Golden tests for the columnar fleet engine (repro.fleet.columnar).
+
+The scalar availability classes became thin views over
+:class:`ColumnarAvailability`; these tests reimplement the original
+per-(slot, client) derivation from its formulas — one ``SeedSequence`` /
+``Generator`` per cell — and pin both implementations to literal golden
+hashes, so neither the vectorized draws nor the scalar reference can
+drift without this file noticing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+import pytest
+
+from repro.fleet.availability import get_availability_model
+from repro.fleet.columnar import ColumnarAvailability, FleetState
+from repro.runtime.seeding import (
+    STREAM_AVAILABILITY,
+    client_round_rng,
+    client_static_rng,
+)
+
+N = 37
+SLOTS = 20
+SEED = 123
+OFF = 0.3
+CHURN = 0.5
+PERIOD = 6
+RATES = np.linspace(0.1, 1.0, N)
+
+# sha256 of np.packbits(trace) for the scalar-reference trace of each
+# model at the parameters above.  Computed from the per-cell derivation
+# the fleet layer shipped with; the columnar engine must reproduce every
+# bit of it.
+GOLDEN = {
+    "always": "d4f45a1e4b96d490c686eae23511fc4d4147232bf455916f3c6d56a39b771330",
+    "bernoulli": "f1dca5662026b06109578f88f35042bb633e875b46464a9fde220a4f8151ac6b",
+    "markov": "527b88bef5d5c345dfae13d77cd16e46583444503aabe23b4ca786d04c56e8e0",
+    "sinusoidal": "4d42ad4598683aeab14e10a2cb411facbfe70edac1d71d6c703e6a4b7e1c22e8",
+    "label_skew": "ff88b25475b57487c1f0196ede1941ecf2debf04dbfbdcadc5b58c30c1c5f2c3",
+}
+
+
+def _u(slot: int, cid: int) -> float:
+    """The original scalar cell draw: one Generator per (slot, client)."""
+    return float(client_round_rng(SEED, slot, cid, STREAM_AVAILABILITY).random())
+
+
+def scalar_trace(name: str) -> np.ndarray:
+    """The pre-columnar per-client loops, reimplemented from the formulas."""
+    trace = np.zeros((SLOTS, N), dtype=bool)
+    if name == "always":
+        return np.ones((SLOTS, N), dtype=bool)
+    if name == "bernoulli":
+        for t in range(SLOTS):
+            for c in range(N):
+                trace[t, c] = _u(t, c) >= OFF
+    elif name == "sinusoidal":
+        amp = min(OFF, 1 - OFF)
+        for c in range(N):
+            phase = client_static_rng(SEED, c, STREAM_AVAILABILITY).uniform(
+                0, 2 * math.pi
+            )
+            for t in range(SLOTS):
+                p = (1 - OFF) + amp * math.sin(2 * math.pi * t / PERIOD + phase)
+                trace[t, c] = _u(t, c) < p
+    elif name == "label_skew":
+        for t in range(SLOTS):
+            for c in range(N):
+                trace[t, c] = _u(t, c) < RATES[c]
+    elif name == "markov":
+        rate = min(CHURN, 1.0 / max(OFF, 1 - OFF))
+        p_on_off, p_off_on = rate * OFF, rate * (1 - OFF)
+        for c in range(N):
+            state = _u(0, c) >= OFF
+            trace[0, c] = state
+            for t in range(1, SLOTS):
+                u = _u(t, c)
+                state = (u >= p_on_off) if state else (u < p_off_on)
+                trace[t, c] = state
+    else:  # pragma: no cover - defensive
+        raise AssertionError(name)
+    return trace
+
+
+def columnar_engine(name: str) -> ColumnarAvailability:
+    return ColumnarAvailability(
+        name, N, SEED, offline_fraction=OFF, churn_rate=CHURN,
+        period_slots=PERIOD, rates=RATES if name == "label_skew" else None,
+    )
+
+
+def trace_hash(trace: np.ndarray) -> str:
+    return hashlib.sha256(np.packbits(trace).tobytes()).hexdigest()
+
+
+class TestGoldenBitIdentity:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_columnar_matches_scalar_reference(self, name):
+        ref = scalar_trace(name)
+        assert trace_hash(ref) == GOLDEN[name], (
+            "the scalar reference itself drifted — the per-cell "
+            "derivation is part of the repo's bit-exactness contract"
+        )
+        engine = columnar_engine(name)
+        got = np.stack([engine.mask(t) for t in range(SLOTS)])
+        assert trace_hash(got) == GOLDEN[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_scalar_view_classes_delegate_to_the_same_trace(self, name):
+        ref = scalar_trace(name)
+        labels = [np.array([c % 5, 4]) for c in range(N)]
+        model = get_availability_model(
+            name, n_clients=N, seed=SEED, offline_fraction=OFF,
+            churn_rate=CHURN, period_slots=PERIOD, labels=labels,
+        )
+        if name == "label_skew":
+            # The view computes its own rates from labels; identity is
+            # against its own columnar engine, not the fixed RATES ramp.
+            ref = np.stack(
+                [model.columnar.mask(t).copy() for t in range(SLOTS)]
+            )
+        got = np.array(
+            [[model.online(c, t) for c in range(N)] for t in range(SLOTS)]
+        )
+        np.testing.assert_array_equal(got, ref)
+
+    def test_query_order_independence(self):
+        """Masks are pure functions of (seed, slot) for every model —
+        including markov, whose engine steps sequentially inside."""
+        for name in sorted(GOLDEN):
+            forward = columnar_engine(name)
+            scrambled = columnar_engine(name)
+            ref = np.stack([forward.mask(t).copy() for t in range(SLOTS)])
+            order = np.random.default_rng(7).permutation(SLOTS)
+            for t in order:
+                np.testing.assert_array_equal(
+                    scrambled.mask(int(t)), ref[t], err_msg=f"{name}@{t}"
+                )
+
+
+class TestMarkovReplay:
+    def test_backward_query_replays_from_checkpoint(self):
+        engine = columnar_engine("markov")
+        ref = np.stack([engine.mask(t).copy() for t in range(SLOTS)])
+        fresh = columnar_engine("markov")
+        fresh.mask(SLOTS - 1)  # advance to the end first
+        np.testing.assert_array_equal(fresh.mask(3), ref[3])
+        np.testing.assert_array_equal(fresh.mask(0), ref[0])
+
+    def test_replay_across_checkpoint_boundary(self):
+        far = 600  # past two 256-slot checkpoints
+        engine = ColumnarAvailability("markov", 11, SEED, offline_fraction=OFF)
+        ref = engine.mask(far).copy()
+        mid = engine.mask(300).copy()
+        # Backward queries after eviction must reproduce the same rows.
+        np.testing.assert_array_equal(engine.mask(300), mid)
+        np.testing.assert_array_equal(engine.mask(far), ref)
+
+
+class TestOnlineIds:
+    def test_subset_is_sorted_and_filtered(self):
+        engine = columnar_engine("bernoulli")
+        mask = engine.mask(5)
+        ids = np.array([30, 2, 17, 4], dtype=np.int64)
+        got = engine.online_ids(5, ids)
+        expect = np.array([c for c in sorted(ids) if mask[c]], dtype=np.int64)
+        np.testing.assert_array_equal(got, expect)
+
+    def test_full_fleet_matches_flatnonzero(self):
+        engine = columnar_engine("sinusoidal")
+        np.testing.assert_array_equal(
+            engine.online_ids(2), np.flatnonzero(engine.mask(2))
+        )
+
+
+class TestFleetState:
+    def test_fairest_matches_sequential_min_scan(self):
+        rng = np.random.default_rng(3)
+        state = FleetState(50, SEED)
+        state.jobs_served[:] = rng.integers(0, 4, size=50)
+        for trial in range(20):
+            pool = rng.choice(50, size=rng.integers(1, 20), replace=False)
+            count = int(rng.integers(1, pool.size + 1))
+            got = list(state.fairest(pool, count))
+            remaining = [int(c) for c in pool]
+            expect = []
+            for _ in range(count):
+                winner = min(
+                    remaining, key=lambda c: (int(state.jobs_served[c]), c)
+                )
+                expect.append(winner)
+                remaining.remove(winner)
+            assert got == expect, trial
+
+    def test_record_jobs_and_n_samples(self):
+        sizes = np.arange(1, 9, dtype=np.int64)
+        state = FleetState(8, SEED, shard_sizes=sizes)
+        assert state.n_samples(5) == 6
+        state.record_jobs([1, 3])
+        state.record_jobs([3], count=2)
+        assert list(state.jobs_served) == [0, 1, 0, 3, 0, 0, 0, 0]
+
+    def test_availability_plumbing(self):
+        engine = columnar_engine("bernoulli")
+        state = FleetState(N, SEED, availability=engine)
+        assert state.online_count(4) == int(engine.mask(4).sum())
+        assert state.is_online(0, 4) == bool(engine.mask(4)[0])
+        np.testing.assert_array_equal(state.online_mask(4), engine.mask(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetState(0, SEED)
+        with pytest.raises(ValueError):
+            FleetState(4, SEED, shard_sizes=np.ones(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            FleetState(4, SEED, speeds=np.ones(5))
+        with pytest.raises(ValueError):
+            FleetState(
+                4, SEED, availability=ColumnarAvailability("always", 5, SEED)
+            )
+
+    def test_million_client_state_under_100mb(self):
+        """Acceptance: the whole fleet's columnar state — including the
+        availability kernel's scratch — fits in ~100 MB at N=1M."""
+        n = 1_000_000
+        state = FleetState(
+            n, SEED,
+            availability=ColumnarAvailability(
+                "markov", n, SEED, offline_fraction=OFF
+            ),
+        )
+        state.online_mask(0)  # touch a slot so kernel scratch is resident
+        assert state.nbytes < 100 * 1024 * 1024
+        assert state.nbytes > 0
