@@ -32,6 +32,8 @@ from repro.harness.config import (
     VALID_ATTACKS,
     VALID_AVAILABILITY,
     VALID_BACKENDS,
+    VALID_BANDWIDTH_MODELS,
+    VALID_CODECS,
     VALID_DATASETS,
     VALID_DEADLINE_POLICIES,
     VALID_DISPATCH,
@@ -98,6 +100,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deadline-policy", default="wait",
                         choices=VALID_DEADLINE_POLICIES,
                         help="wait for stragglers or drop their updates")
+    parser.add_argument("--codec", default="dense", choices=VALID_CODECS,
+                        help="upload codec for client deltas: dense float "
+                             "passthrough, topk sparsification, qsgd{4,8} "
+                             "stochastic quantization, or topk+qsgd{4,8} "
+                             "composition")
+    parser.add_argument("--topk-frac", type=float, default=0.01,
+                        help="topk codecs: fraction of coordinates kept")
+    parser.add_argument("--quant-bits", type=int, default=8, choices=[4, 8],
+                        help="qsgd codecs without a bits suffix: quantization "
+                             "bit width")
+    parser.add_argument("--error-feedback", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="carry the lossy-codec residual into the next "
+                             "upload from the same client")
+    parser.add_argument("--bandwidth-model", default="none",
+                        choices=VALID_BANDWIDTH_MODELS,
+                        help="per-client link-rate model: comm time becomes "
+                             "payload_bytes / bandwidth (needs "
+                             "--latency-model)")
+    parser.add_argument("--up-mbps", type=float, default=1.0,
+                        help="mean client uplink rate in Mbit/s")
+    parser.add_argument("--down-mbps", type=float, default=10.0,
+                        help="mean client downlink rate in Mbit/s")
+    parser.add_argument("--straggler-comm-slowdown", type=float, default=None,
+                        help="separate straggler multiplier for comm phases "
+                             "(default: same as --straggler-slowdown)")
     parser.add_argument("--aggregation", default="sync",
                         choices=VALID_AGGREGATIONS,
                         help="synchronous rounds, or the event-driven async "
@@ -261,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
             straggler_slowdown=args.straggler_slowdown,
             deadline_s=args.deadline,
             deadline_policy=args.deadline_policy,
+            codec=args.codec,
+            topk_frac=args.topk_frac,
+            quant_bits=args.quant_bits,
+            error_feedback=args.error_feedback,
+            bandwidth_model=args.bandwidth_model,
+            up_mbps=args.up_mbps,
+            down_mbps=args.down_mbps,
+            straggler_comm_slowdown=args.straggler_comm_slowdown,
             aggregation=args.aggregation,
             buffer_size=args.buffer_size,
             max_concurrency=args.max_concurrency,
@@ -353,6 +389,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"{result.extra['connectivity_dropped']} updates lost to "
                   f"dropout, mean work fraction "
                   f"{result.extra['mean_work_fraction']:.2f}{online_s}")
+        if result.extra and "wire" in result.extra:
+            w = result.extra["wire"]
+            ef_s = "on" if w["error_feedback"] else "off"
+            print(f"  wire:                codec={w['codec']} (EF {ef_s}), "
+                  f"{w['bytes_up']:,} B up / {w['bytes_down']:,} B down, "
+                  f"compression {w['compression_ratio']:.1f}x"
+                  + (f", bandwidth={w['bandwidth_model']}"
+                     if w["bandwidth_model"] != "none" else ""))
         if result.extra and "attack" in result.extra:
             backdoor = result.extra.get("backdoor_accuracy")
             backdoor_s = (

@@ -22,7 +22,6 @@ from repro.fl.async_ import (
     get_staleness_weighting,
 )
 from repro.fl.client import Client, ClientUpdate
-from repro.fl.compression import CompressedClients, compress_update, decompress_update
 from repro.fl.env import FederatedEnv
 from repro.fl.hierarchical import HierarchicalAggregator, HierarchicalStrategy
 from repro.fl.selection import (
@@ -50,6 +49,15 @@ from repro.fl.strategies import (
     get_strategy,
 )
 from repro.fl.timing import Timer, measure_server_overhead
+from repro.fl.wire import (
+    WIRE_CODECS,
+    CompressedClients,
+    WireFormat,
+    WirePayload,
+    compress_update,
+    decompress_update,
+    get_codec,
+)
 
 __all__ = [
     "AGGREGATION_MODES",
@@ -88,6 +96,10 @@ __all__ = [
     "CompressedClients",
     "compress_update",
     "decompress_update",
+    "WIRE_CODECS",
+    "WireFormat",
+    "WirePayload",
+    "get_codec",
     "HierarchicalAggregator",
     "HierarchicalStrategy",
     "UniformSelection",

@@ -113,6 +113,7 @@ class AsyncFederatedServer:
         faults: FaultPlan | None = None,
         topology: str = "flat",
         n_edges: int = 2,
+        wire=None,
     ) -> None:
         if len(clients) == 0:
             raise ValueError("need at least one client")
@@ -187,6 +188,18 @@ class AsyncFederatedServer:
         # robust combination rule.  Both None on the historical path.
         self.attack = attack
         self.defense = defense
+        # Wire subsystem (repro.fl.wire.WireFormat): arrivals decode before
+        # buffering, and the a-priori payload sizes below let dispatch
+        # charge bandwidth-accurate durations before any encoding happens.
+        # None keeps the historical bit-exact path untouched.
+        self.wire = wire
+        self._up_nbytes: int | None = None
+        self._down_nbytes: int | None = None
+        if wire is not None:
+            dim = self.global_weights.shape[0]
+            dtype = self.global_weights.dtype
+            self._up_nbytes = wire.upload_nbytes(dim, dtype)
+            self._down_nbytes = wire.download_nbytes(dim, dtype)
         self.backdoor_test = None
         if attack is not None and test_set is not None:
             self.backdoor_test = attack.backdoor_test_set(test_set)
@@ -290,7 +303,9 @@ class AsyncFederatedServer:
                 job_idx=next_job,
                 client_id=cid,
                 dispatch_time_s=now,
-                duration_s=self.clock.client_time(next_job, cid, batches),
+                duration_s=self.clock.client_time(
+                    next_job, cid, batches, self._up_nbytes, self._down_nbytes
+                ),
                 model_version=version,
                 global_weights=self.global_weights,
                 n_batches=batches,
@@ -299,6 +314,11 @@ class AsyncFederatedServer:
             in_flight[job.job_idx] = job
             idle.discard(cid)
             self.fleet_state.record_jobs([cid])
+            if self.wire is not None:
+                # Every dispatch broadcasts the current dense global model.
+                self.wire.record_downloads(
+                    1, self.global_weights.shape[0], self.global_weights.dtype
+                )
             next_job += 1
             if self.tracer is not None:
                 idle_t0 = self._idle_since.pop(cid, None)
@@ -385,6 +405,8 @@ class AsyncFederatedServer:
         agg_idx: int,
         now: float,
         last_agg_t: float,
+        bytes_up: int = 0,
+        bytes_down: int = 0,
     ) -> RoundRecord:
         """One buffer flush: staleness-composed impact factors, eq. (4),
         and a staleness-scaled server mixing step."""
@@ -540,6 +562,11 @@ class AsyncFederatedServer:
                 )
                 if agg_info is not None else []
             ),
+            payload_bytes_up=bytes_up,
+            payload_bytes_down=bytes_down,
+            dense_bytes_up=(
+                len(buffer) * self._down_nbytes if self.wire is not None else 0
+            ),
         )
         if self.tracer is not None:
             self._trace_aggregation(record, now, last_agg_t, (w0, t0, t1, t2))
@@ -599,6 +626,12 @@ class AsyncFederatedServer:
             m.inc("sim.defense.updates_clipped", len(record.clipped_updates))
         m.observe("sim.window.span_s", record.sim_makespan_s)
         m.set_gauge("rt.fleet.state_bytes", self.fleet_state.nbytes)
+        if self.wire is not None:
+            m.inc("sim.wire.bytes_up", record.payload_bytes_up)
+            m.inc("sim.wire.bytes_down", record.payload_bytes_down)
+            m.set_gauge(
+                "sim.wire.compression_ratio", self.wire.stats.compression_ratio()
+            )
         for s in record.staleness or ():
             m.observe("sim.staleness", s)
         tr.maybe_snapshot(now)
@@ -616,18 +649,24 @@ class AsyncFederatedServer:
         cid = job.client_id
         track = f"client/{cid}"
         download, compute, upload = self.clock.decompose(
-            cid, job.n_batches, job.duration_s
+            cid, job.n_batches, job.duration_s, self._up_nbytes, self._down_nbytes
         )
+        comm_args: dict = {}
+        up_args: dict = {}
+        if self.wire is not None:
+            comm_args = {"bytes": self._down_nbytes}
+            up_args = {"bytes": self._up_nbytes}
         start = job.dispatch_time_s
         tr.span("download", CAT_COMM, track=track,
-                sim_t0=start, sim_dur=download, job=job.job_idx, client=cid)
+                sim_t0=start, sim_dur=download, job=job.job_idx, client=cid,
+                **comm_args)
         tr.span("local_train", CAT_COMPUTE, track=track,
                 sim_t0=start + download, sim_dur=compute,
                 job=job.job_idx, client=cid, batches=job.n_batches,
                 staleness=staleness)
         tr.span("upload", CAT_COMM, track=track,
                 sim_t0=start + download + compute, sim_dur=upload,
-                job=job.job_idx, client=cid)
+                job=job.job_idx, client=cid, **up_args)
         m = tr.metrics
         m.inc("sim.comm.payload_s", download + upload)
         m.inc("sim.jobs.arrived")
@@ -664,7 +703,25 @@ class AsyncFederatedServer:
             "now": 0.0,
             "next_job": 0,
             "primed": False,   # has the initial dispatch wave run?
+            # Wire byte accounting for the current aggregation window:
+            # bytes uploaded by buffered arrivals, and the job cursor at
+            # the window's start (dispatches since then are its
+            # broadcasts).  Read back with .get() so pre-wire snapshots
+            # stay loadable.
+            "window_bytes_up": 0,
+            "window_job0": 0,
         }
+
+    def _window_bytes(self, st: dict) -> tuple[int, int]:
+        """(upload, download) bytes of the closing aggregation window, and
+        reset the window counters."""
+        if self.wire is None:
+            return 0, 0
+        bytes_up = st.get("window_bytes_up", 0)
+        bytes_down = (st["next_job"] - st.get("window_job0", 0)) * self._down_nbytes
+        st["window_bytes_up"] = 0
+        st["window_job0"] = st["next_job"]
+        return bytes_up, bytes_down
 
     def run(self) -> History:
         """Process all ``total_jobs`` arrivals in virtual-time order.
@@ -711,6 +768,7 @@ class AsyncFederatedServer:
             dropped = self.fleet is not None and self.fleet.drops(
                 job.job_idx, job.client_id
             )
+            payload_bytes = 0
             if dropped:
                 update = None
                 st["computed"].pop(job.job_idx, None)
@@ -722,6 +780,17 @@ class AsyncFederatedServer:
                     # weights this job was dispatched against.
                     update = self.attack.perturb(
                         update, job.job_idx, job.global_weights
+                    )
+                if self.wire is not None:
+                    # Decode against the weights this job was dispatched
+                    # with — the same anchor delta-form mixing uses.  The
+                    # STREAM_WIRE cell is (job_idx, client), drawn here in
+                    # arrival order, itself a pure function of the seed.
+                    update, payload_bytes = self.wire.transmit(
+                        update, job.job_idx, job.global_weights
+                    )
+                    st["window_bytes_up"] = (
+                        st.get("window_bytes_up", 0) + payload_bytes
                     )
             del st["in_flight"][job.job_idx]
             st["idle"].add(job.client_id)
@@ -738,6 +807,7 @@ class AsyncFederatedServer:
                 staleness=staleness,
                 staleness_factor=factor,
                 dropped=dropped,
+                payload_bytes=payload_bytes,
             ))
             if not dropped:
                 st["buffer"].append((job, update, staleness, factor))
@@ -754,7 +824,11 @@ class AsyncFederatedServer:
 
             flushed = False
             if len(st["buffer"]) >= self.flush_size:
-                self._aggregate(st["buffer"], st["version"], now, st["last_agg_t"])
+                bytes_up, bytes_down = self._window_bytes(st)
+                self._aggregate(
+                    st["buffer"], st["version"], now, st["last_agg_t"],
+                    bytes_up, bytes_down,
+                )
                 st["buffer"] = []
                 st["version"] += 1
                 st["last_agg_t"] = now
@@ -775,8 +849,10 @@ class AsyncFederatedServer:
             if getattr(self.strategy, "fixed_k", False):
                 self.discarded_updates += len(st["buffer"])
             else:
+                bytes_up, bytes_down = self._window_bytes(st)
                 self._aggregate(
-                    st["buffer"], st["version"], st["now"], st["last_agg_t"]
+                    st["buffer"], st["version"], st["now"], st["last_agg_t"],
+                    bytes_up, bytes_down,
                 )
                 st["buffer"] = []
                 st["version"] += 1
@@ -811,6 +887,7 @@ class AsyncFederatedServer:
             "dropped_arrivals": self.dropped_arrivals,
             "idle_since": self._idle_since,
             "fault_totals": self.fault_totals,
+            "wire": None if self.wire is None else self.wire.snapshot(),
             "clock": {
                 "elapsed_s": self.clock.elapsed_s,
                 "fault_recovery_s": self.clock.fault_recovery_s,
@@ -837,6 +914,10 @@ class AsyncFederatedServer:
         self.dropped_arrivals = state["dropped_arrivals"]
         self._idle_since = state["idle_since"]
         self.fault_totals = state["fault_totals"]
+        # Old snapshots predate the wire subsystem: .get keeps them loadable.
+        wire_state = state.get("wire")
+        if wire_state is not None and self.wire is not None:
+            self.wire.restore(wire_state)
         clock_state = state.get("clock")
         if clock_state is not None:
             self.clock.elapsed_s = clock_state["elapsed_s"]

@@ -117,6 +117,14 @@ class RoundRecord:
     rejected_updates: list[int] = field(default_factory=list)
     clipped_updates: list[int] = field(default_factory=list)
     backdoor_accuracy: float | None = None
+    # Wire-subsystem fields (zero without a wire format, see
+    # repro.fl.wire): exact serialized bytes moved this round/flush —
+    # uploads actually transmitted, global-model broadcasts, and what the
+    # same uploads would have cost uncompressed (the dense baseline the
+    # compression ratio is measured against).
+    payload_bytes_up: int = 0
+    payload_bytes_down: int = 0
+    dense_bytes_up: int = 0
 
 
 @dataclass
@@ -140,6 +148,9 @@ class EventRecord:
     # Fleet connectivity: the job finished but its upload was lost; it was
     # never buffered or aggregated (compute time was still paid).
     dropped: bool = False
+    # Exact serialized size of this arrival's upload (0 without a wire
+    # format, and for dropped arrivals — a lost upload moves no bytes).
+    payload_bytes: int = 0
 
 
 @dataclass
@@ -264,6 +275,46 @@ class History:
             return 0.0
         return float(np.mean([e.staleness for e in self.events]))
 
+    # -- wire-subsystem views -------------------------------------------------
+    def total_bytes_up(self) -> int:
+        """Exact client→server bytes moved over the whole run."""
+        return sum(r.payload_bytes_up for r in self.records)
+
+    def total_bytes_down(self) -> int:
+        """Exact server→client broadcast bytes over the whole run."""
+        return sum(r.payload_bytes_down for r in self.records)
+
+    def total_dense_bytes_up(self) -> int:
+        """What the same uploads would have cost uncompressed."""
+        return sum(r.dense_bytes_up for r in self.records)
+
+    def wire_compression_ratio(self) -> float:
+        """Dense-baseline upload bytes over actual upload bytes (1.0 when
+        no wire format was attached or nothing moved)."""
+        up = self.total_bytes_up()
+        if up <= 0:
+            return 1.0
+        return self.total_dense_bytes_up() / up
+
+    def payload_bytes_series(self) -> list[tuple[int, int, int]]:
+        """(round, bytes up, bytes down) per record that moved bytes —
+        the x-axis data for accuracy-vs-bytes plots."""
+        return [
+            (r.round_idx, r.payload_bytes_up, r.payload_bytes_down)
+            for r in self.records
+            if r.payload_bytes_up or r.payload_bytes_down
+        ]
+
+    def accuracy_vs_bytes(self) -> list[tuple[int, float]]:
+        """(cumulative upload bytes, accuracy) for evaluated records."""
+        total = 0
+        out = []
+        for r in self.records:
+            total += r.payload_bytes_up
+            if r.test_accuracy is not None:
+                out.append((total, r.test_accuracy))
+        return out
+
     # -- adversarial-fleet views ----------------------------------------------
     def backdoor_accuracy_series(self) -> list[tuple[int, float]]:
         """(round, backdoor-task accuracy) per evaluated record — the
@@ -313,6 +364,7 @@ class FederatedSimulation:
         faults: FaultPlan | None = None,
         topology: str = "flat",
         n_edges: int = 2,
+        wire=None,
     ) -> None:
         if len(clients) == 0:
             raise ValueError("need at least one client")
@@ -369,6 +421,11 @@ class FederatedSimulation:
         # combination rule.  Both None on the historical bit-exact path.
         self.attack = attack
         self.defense = defense
+        # Wire subsystem (repro.fl.wire.WireFormat): uploads pass through
+        # delta → error feedback → encode → decode before aggregation, and
+        # exact payload bytes drive the clock when it has bandwidth.  None
+        # keeps the historical bit-exact path untouched.
+        self.wire = wire
         self.backdoor_test = None
         if attack is not None and test_set is not None:
             self.backdoor_test = attack.backdoor_test_set(test_set)
@@ -484,6 +541,18 @@ class FederatedSimulation:
             tr.metrics.inc("rt.ipc.bytes_in", ipc["in"])
         return updates
 
+    def _wire_nbytes(self) -> tuple[int | None, int | None]:
+        """A-priori per-transfer payload sizes (None without a wire).
+
+        Pure functions of the arena shape, so they are known before any
+        encoding happens — the clock charges comm time from them.
+        """
+        if self.wire is None:
+            return None, None
+        dim = self.global_weights.shape[0]
+        dtype = self.global_weights.dtype
+        return self.wire.upload_nbytes(dim, dtype), self.wire.download_nbytes(dim, dtype)
+
     def _observe_clock(
         self,
         round_idx: int,
@@ -508,7 +577,10 @@ class FederatedSimulation:
         }
         if client_batches:
             batches.update(client_batches)
-        timing = self.clock.observe_round(round_idx, participants, batches)
+        up_nbytes, down_nbytes = self._wire_nbytes()
+        timing = self.clock.observe_round(
+            round_idx, participants, batches, up_nbytes, down_nbytes
+        )
         if timing.dropped:
             dropped = set(timing.dropped)
             updates = [u for u in updates if u.client_id not in dropped]
@@ -548,6 +620,24 @@ class FederatedSimulation:
                 self.attack.perturb(u, round_idx, self.global_weights)
                 for u in updates
             ]
+        payload_up = payload_down = dense_up = 0
+        if self.wire is not None:
+            # Each upload passes through the wire here, parent-side and in
+            # participant order — encoding draws its STREAM_WIRE cell per
+            # (round, client), so no executor schedule can reorder them.
+            # Error feedback is updated even for uploads a deadline later
+            # drops: the client-side encoding already happened.
+            dim = self.global_weights.shape[0]
+            dtype = self.global_weights.dtype
+            payload_down = self.wire.record_downloads(len(participants), dim, dtype)
+            dense_each = self.wire.download_nbytes(dim, dtype)
+            transmitted = []
+            for u in updates:
+                u, nbytes = self.wire.transmit(u, round_idx, self.global_weights)
+                transmitted.append(u)
+                payload_up += nbytes
+                dense_up += dense_each
+            updates = transmitted
         updates, timing, batches = self._observe_clock(
             round_idx, participants, updates, budgets
         )
@@ -632,6 +722,9 @@ class FederatedSimulation:
                 self._expand_edge_ids(agg_info.clipped, updates, members)
                 if agg_info is not None else []
             ),
+            payload_bytes_up=payload_up,
+            payload_bytes_down=payload_down,
+            dense_bytes_up=dense_up,
         )
         if self._lazy:
             self.clients.release()
@@ -719,6 +812,12 @@ class FederatedSimulation:
             m.set_gauge("sim.fleet.online", record.online_count)
         if self.fleet_state is not None:
             m.set_gauge("rt.fleet.state_bytes", self.fleet_state.nbytes)
+        if self.wire is not None:
+            m.inc("sim.wire.bytes_up", record.payload_bytes_up)
+            m.inc("sim.wire.bytes_down", record.payload_bytes_down)
+            m.set_gauge(
+                "sim.wire.compression_ratio", self.wire.stats.compression_ratio()
+            )
         if timing is None or sim0 is None:
             return
         tr.span("round", CAT_WINDOW, track="server",
@@ -731,20 +830,26 @@ class FederatedSimulation:
         start = sim0 + record.wait_s
         deadline_dropped = set(timing.dropped)
         conn_dropped = set(record.connectivity_dropped)
+        up_nbytes, down_nbytes = self._wire_nbytes()
+        comm_args: dict = {}
+        up_args: dict = {}
+        if self.wire is not None:
+            comm_args = {"bytes": down_nbytes}
+            up_args = {"bytes": up_nbytes}
         for cid, total in timing.client_times_s.items():
             download, compute, upload = self.clock.decompose(
-                cid, batches[cid], total
+                cid, batches[cid], total, up_nbytes, down_nbytes
             )
             track = f"client/{cid}"
             tr.span("download", CAT_COMM, track=track,
                     sim_t0=start, sim_dur=download,
-                    round=record.round_idx, client=cid)
+                    round=record.round_idx, client=cid, **comm_args)
             tr.span("local_train", CAT_COMPUTE, track=track,
                     sim_t0=start + download, sim_dur=compute,
                     round=record.round_idx, client=cid, batches=batches[cid])
             tr.span("upload", CAT_COMM, track=track,
                     sim_t0=start + download + compute, sim_dur=upload,
-                    round=record.round_idx, client=cid)
+                    round=record.round_idx, client=cid, **up_args)
             m.inc("sim.comm.payload_s", download + upload)
             if cid in deadline_dropped:
                 tr.instant("deadline_drop", CAT_FLEET, track=track,
@@ -796,6 +901,7 @@ class FederatedSimulation:
             "strategy": self.strategy,
             "rng_state": self.rng.bit_generator.state,
             "fault_totals": self.fault_totals,
+            "wire": None if self.wire is None else self.wire.snapshot(),
             "clock": None if self.clock is None else {
                 "elapsed_s": self.clock.elapsed_s,
                 "fault_recovery_s": self.clock.fault_recovery_s,
@@ -821,6 +927,10 @@ class FederatedSimulation:
         self.strategy = state["strategy"]
         self.rng.bit_generator.state = state["rng_state"]
         self.fault_totals = state["fault_totals"]
+        # Old snapshots predate the wire subsystem: .get keeps them loadable.
+        wire_state = state.get("wire")
+        if wire_state is not None and self.wire is not None:
+            self.wire.restore(wire_state)
         clock_state = state.get("clock")
         if clock_state is not None and self.clock is not None:
             self.clock.elapsed_s = clock_state["elapsed_s"]

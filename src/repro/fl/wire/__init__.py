@@ -1,0 +1,56 @@
+"""Wire-efficient upload subsystem.
+
+The layer between training and aggregation: codecs that compress the
+client→server delta (:mod:`repro.fl.wire.codecs`), the transport
+pipeline with error feedback and byte-exact accounting
+(:mod:`repro.fl.wire.format`), and the legacy top-k API the subsystem
+absorbed (:mod:`repro.fl.wire.legacy`).
+"""
+
+from repro.fl.wire.codecs import (
+    DEFAULT_CHUNK,
+    HEADER_NBYTES,
+    QUANT_BITS,
+    WIRE_CODECS,
+    Codec,
+    DenseCodec,
+    QSGDCodec,
+    TopKCodec,
+    TopKQSGDCodec,
+    WirePayload,
+    get_codec,
+    payload_from_bytes,
+    topk_indices,
+)
+from repro.fl.wire.format import ErrorFeedback, WireFormat, WireStats
+from repro.fl.wire.legacy import (
+    CompressedClients,
+    SparseUpdate,
+    compress_round,
+    compress_update,
+    decompress_update,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "HEADER_NBYTES",
+    "QUANT_BITS",
+    "WIRE_CODECS",
+    "Codec",
+    "CompressedClients",
+    "DenseCodec",
+    "ErrorFeedback",
+    "QSGDCodec",
+    "SparseUpdate",
+    "TopKCodec",
+    "TopKQSGDCodec",
+    "WireFormat",
+    "WirePayload",
+    "WireStats",
+    "compress_round",
+    "compress_update",
+    "decompress_update",
+    "get_codec",
+    "payload_from_bytes",
+    "topk_indices",
+]

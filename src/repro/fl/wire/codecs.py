@@ -1,0 +1,420 @@
+"""Wire codecs: one-pass compression of flat delta arenas.
+
+Every codec maps a client's *delta* (trained weights minus the weights
+it was dispatched against, one contiguous arena vector) to a
+:class:`WirePayload` with an exact serialized byte size, and back.  The
+four families:
+
+* ``dense`` — float32/float64 passthrough; the byte-accounting baseline.
+* ``qsgd8`` / ``qsgd4`` — QSGD-style stochastic quantization to signed
+  8/4-bit levels with one float32 max-abs scale per 4096-coordinate
+  chunk.  Rounding is stochastic (unbiased in expectation) and consumes
+  exactly one vectorized uniform draw per coordinate from the caller's
+  ``STREAM_WIRE`` generator.
+* ``topk`` — magnitude sparsification keeping ``round(frac * dim)``
+  coordinates, selected with one O(d) ``argpartition`` pass (this is the
+  codec that absorbs the legacy ``repro.fl.compression`` module).
+* ``topk+qsgd{8,4}`` — the composition: sparsify, then quantize the
+  kept values (indices ride uncompressed).
+
+Codecs never loop over model layers: the arena refactor made every
+model one flat buffer, and every operation here is a single vectorized
+pass over it.  ``payload_nbytes`` is a pure function of ``(dim, dtype)``
+— payload sizes are known *before* encoding, which is what lets the
+async engine charge bandwidth-accurate upload time at dispatch.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+# Serialized payload header: codec id, quant bits, dtype code, index
+# width (bytes, 0 when the codec is not sparse), chunk size, full model
+# dimension, kept-coordinate count (== dim when not sparse).
+_HEADER = struct.Struct("<BBBBIQQ")
+HEADER_NBYTES = _HEADER.size
+
+_CODEC_IDS = {"dense": 0, "qsgd": 1, "topk": 2, "topk+qsgd": 3}
+_CODEC_NAMES = {v: k for k, v in _CODEC_IDS.items()}
+_DTYPE_CODES = {"float32": 0, "float64": 1}
+_DTYPE_NAMES = {v: np.dtype(k) for k, v in _DTYPE_CODES.items()}
+
+# Accepted codec names (the config vocabulary).  Bare "qsgd" /
+# "topk+qsgd" resolve their bit width from the quant_bits knob.
+WIRE_CODECS = (
+    "dense", "topk", "qsgd", "qsgd4", "qsgd8",
+    "topk+qsgd", "topk+qsgd4", "topk+qsgd8",
+)
+QUANT_BITS = (4, 8)
+DEFAULT_CHUNK = 4096
+
+
+def _dtype_code(dtype) -> int:
+    name = np.dtype(dtype).name
+    if name not in _DTYPE_CODES:
+        raise ValueError(f"wire codecs carry float32/float64 arenas, got {name}")
+    return _DTYPE_CODES[name]
+
+
+def _index_nbytes(dim: int) -> int:
+    """Bytes per sparse index: uint32 covers any realistic arena."""
+    return 4 if dim <= 0xFFFFFFFF else 8
+
+
+def _index_dtype(dim: int):
+    return np.uint32 if dim <= 0xFFFFFFFF else np.uint64
+
+
+def topk_indices(delta: np.ndarray, k: int) -> np.ndarray:
+    """Sorted indices of the k largest-magnitude coordinates, O(d)."""
+    k = min(k, delta.shape[0])
+    top = np.argpartition(-np.abs(delta), k - 1)[:k]
+    return np.sort(top).astype(np.int64)
+
+
+def _pack_nibbles(q: np.ndarray) -> np.ndarray:
+    """Pack int8 levels in [-7, 7] two-per-byte (offset-8 nibbles)."""
+    u = (q.astype(np.int16) + 8).astype(np.uint8)
+    if u.size % 2:
+        u = np.concatenate([u, np.zeros(1, dtype=np.uint8)])
+    return (u[0::2] << 4) | u[1::2]
+
+
+def _unpack_nibbles(packed: np.ndarray, n: int) -> np.ndarray:
+    u = np.empty(packed.size * 2, dtype=np.uint8)
+    u[0::2] = packed >> 4
+    u[1::2] = packed & 0x0F
+    return (u[:n].astype(np.int16) - 8).astype(np.int8)
+
+
+def _quantize(
+    values: np.ndarray, bits: int, chunk: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stochastically round ``values`` to signed ``bits``-bit levels.
+
+    Returns ``(q int8, scales float32)`` with one max-abs scale per
+    ``chunk`` coordinates.  The rounding draw is one vectorized uniform
+    per coordinate: q = floor(v/s * L) + Bernoulli(frac), clipped to
+    [-L, L] — unbiased given the float32-rounded scale the decoder will
+    also use.
+    """
+    n = values.shape[0]
+    levels = (1 << (bits - 1)) - 1
+    starts = np.arange(0, n, chunk)
+    scales = np.maximum.reduceat(np.abs(values), starts).astype(np.float32)
+    per = np.repeat(scales, chunk)[:n].astype(values.dtype)
+    safe = np.where(per > 0, per, 1.0)
+    normalized = values / safe * levels
+    q = np.floor(normalized)
+    q += rng.random(n) < (normalized - q)
+    q = np.clip(q, -levels, levels)
+    return np.where(per > 0, q, 0.0).astype(np.int8), scales
+
+
+def _dequantize(
+    q: np.ndarray, scales: np.ndarray, bits: int, chunk: int, dtype
+) -> np.ndarray:
+    levels = (1 << (bits - 1)) - 1
+    per = np.repeat(scales, chunk)[: q.shape[0]].astype(dtype)
+    return q.astype(dtype) * per / levels
+
+
+def _n_chunks(n: int, chunk: int) -> int:
+    return max(1, math.ceil(n / chunk)) if n else 0
+
+
+@dataclass
+class WirePayload:
+    """One encoded client→server upload.
+
+    ``nbytes`` is the exact serialized size: ``len(payload.to_bytes())
+    == payload.nbytes`` always, and equals the owning codec's
+    ``payload_nbytes(dim, dtype)``.  The in-memory form keeps arrays
+    unpacked (int8 levels, int64 indices) so the hot path never pays
+    pack/serialize costs; ``to_bytes``/``payload_from_bytes`` exist for
+    byte-accuracy verification and real transports.
+    """
+
+    codec: str           # family name: dense | qsgd | topk | topk+qsgd
+    dim: int             # full arena dimension
+    dtype: np.dtype      # substrate dtype the decode must reproduce
+    nbytes: int          # exact serialized size, header included
+    bits: int = 0        # quant bit width (0 = unquantized)
+    chunk: int = 0       # quant chunk size (0 = unquantized)
+    indices: np.ndarray | None = None  # int64 sorted (sparse codecs)
+    values: np.ndarray | None = None   # raw values (dense / topk)
+    qvalues: np.ndarray | None = None  # int8 levels (quantized codecs)
+    scales: np.ndarray | None = None   # float32 per-chunk scales
+
+    @property
+    def nnz(self) -> int:
+        """Transmitted coordinate count (== dim for non-sparse codecs)."""
+        if self.indices is not None:
+            return int(self.indices.size)
+        return self.dim
+
+    def to_bytes(self) -> bytes:
+        """Serialize exactly ``nbytes`` bytes (header + arrays)."""
+        idx_nbytes = _index_nbytes(self.dim) if self.indices is not None else 0
+        header = _HEADER.pack(
+            _CODEC_IDS[self.codec], self.bits, _dtype_code(self.dtype),
+            idx_nbytes, self.chunk, self.dim, self.nnz,
+        )
+        parts = [header]
+        if self.indices is not None:
+            parts.append(self.indices.astype(_index_dtype(self.dim)).tobytes())
+        if self.scales is not None:
+            parts.append(self.scales.astype(np.float32).tobytes())
+        if self.qvalues is not None:
+            if self.bits == 4:
+                parts.append(_pack_nibbles(self.qvalues).tobytes())
+            else:
+                parts.append(self.qvalues.astype(np.int8).tobytes())
+        if self.values is not None:
+            parts.append(np.ascontiguousarray(self.values).tobytes())
+        blob = b"".join(parts)
+        if len(blob) != self.nbytes:
+            raise ValueError(
+                f"payload accounting bug: serialized {len(blob)} bytes, "
+                f"declared {self.nbytes}"
+            )
+        return blob
+
+
+def payload_from_bytes(blob: bytes) -> WirePayload:
+    """Parse a :meth:`WirePayload.to_bytes` blob back into a payload."""
+    if len(blob) < HEADER_NBYTES:
+        raise ValueError("wire payload shorter than its header")
+    codec_id, bits, dtype_code, idx_nbytes, chunk, dim, nnz = _HEADER.unpack(
+        blob[:HEADER_NBYTES]
+    )
+    if codec_id not in _CODEC_NAMES:
+        raise ValueError(f"unknown wire codec id {codec_id}")
+    codec = _CODEC_NAMES[codec_id]
+    dtype = _DTYPE_NAMES[dtype_code]
+    offset = HEADER_NBYTES
+    indices = values = qvalues = scales = None
+    if idx_nbytes:
+        idx_dtype = np.uint32 if idx_nbytes == 4 else np.uint64
+        indices = np.frombuffer(
+            blob, dtype=idx_dtype, count=nnz, offset=offset
+        ).astype(np.int64)
+        offset += nnz * idx_nbytes
+    if bits:
+        n_chunks = _n_chunks(nnz, chunk)
+        scales = np.frombuffer(blob, dtype=np.float32, count=n_chunks, offset=offset)
+        offset += 4 * n_chunks
+        if bits == 4:
+            packed = np.frombuffer(
+                blob, dtype=np.uint8, count=(nnz + 1) // 2, offset=offset
+            )
+            qvalues = _unpack_nibbles(packed, nnz)
+            offset += (nnz + 1) // 2
+        else:
+            qvalues = np.frombuffer(blob, dtype=np.int8, count=nnz, offset=offset)
+            offset += nnz
+    else:
+        values = np.frombuffer(blob, dtype=dtype, count=nnz, offset=offset)
+        offset += nnz * dtype.itemsize
+    if offset != len(blob):
+        raise ValueError(
+            f"wire payload length mismatch: parsed {offset} of {len(blob)} bytes"
+        )
+    return WirePayload(
+        codec=codec, dim=dim, dtype=dtype, nbytes=len(blob), bits=bits,
+        chunk=chunk, indices=indices, values=values, qvalues=qvalues,
+        scales=scales,
+    )
+
+
+class Codec:
+    """One-pass encode/decode of a flat delta arena."""
+
+    name: str = "base"
+    #: True when encoding draws from the STREAM_WIRE generator.
+    stochastic: bool = False
+
+    def k_for(self, dim: int) -> int:
+        """Kept coordinates for a ``dim``-sized arena (== dim if dense)."""
+        return dim
+
+    def payload_nbytes(self, dim: int, dtype) -> int:
+        """Exact serialized upload size — a pure function of the arena
+        shape, never of its contents (known before encoding)."""
+        raise NotImplementedError
+
+    def encode(
+        self, delta: np.ndarray, rng: np.random.Generator | None = None
+    ) -> WirePayload:
+        raise NotImplementedError
+
+    def decode(self, payload: WirePayload) -> np.ndarray:
+        raise NotImplementedError
+
+
+class DenseCodec(Codec):
+    """Float32/float64 passthrough — lossless, the accounting baseline."""
+
+    name = "dense"
+
+    def payload_nbytes(self, dim: int, dtype) -> int:
+        _dtype_code(dtype)
+        return HEADER_NBYTES + dim * np.dtype(dtype).itemsize
+
+    def encode(self, delta, rng=None):
+        return WirePayload(
+            codec="dense", dim=delta.shape[0], dtype=delta.dtype,
+            nbytes=self.payload_nbytes(delta.shape[0], delta.dtype),
+            values=np.array(delta, copy=True),
+        )
+
+    def decode(self, payload):
+        return np.asarray(payload.values, dtype=payload.dtype).copy()
+
+
+class QSGDCodec(Codec):
+    """Stochastic quantization to signed ``bits``-bit levels, chunked."""
+
+    stochastic = True
+
+    def __init__(self, bits: int = 8, chunk: int = DEFAULT_CHUNK) -> None:
+        if bits not in QUANT_BITS:
+            raise ValueError(f"quant bits must be one of {QUANT_BITS}, got {bits}")
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        self.bits = bits
+        self.chunk = chunk
+        self.name = f"qsgd{bits}"
+
+    def payload_nbytes(self, dim: int, dtype) -> int:
+        _dtype_code(dtype)
+        body = dim if self.bits == 8 else (dim + 1) // 2
+        return HEADER_NBYTES + 4 * _n_chunks(dim, self.chunk) + body
+
+    def encode(self, delta, rng=None):
+        if rng is None:
+            raise ValueError(f"{self.name} rounds stochastically and needs an rng")
+        q, scales = _quantize(delta, self.bits, self.chunk, rng)
+        return WirePayload(
+            codec="qsgd", dim=delta.shape[0], dtype=delta.dtype,
+            nbytes=self.payload_nbytes(delta.shape[0], delta.dtype),
+            bits=self.bits, chunk=self.chunk, qvalues=q, scales=scales,
+        )
+
+    def decode(self, payload):
+        return _dequantize(
+            payload.qvalues, payload.scales, payload.bits, payload.chunk,
+            payload.dtype,
+        )
+
+
+class TopKCodec(Codec):
+    """Magnitude sparsification: keep ``round(frac * dim)`` coordinates."""
+
+    name = "topk"
+
+    def __init__(self, frac: float = 0.01) -> None:
+        if not 0.0 < frac <= 1.0:
+            raise ValueError("topk frac must be in (0, 1]")
+        self.frac = frac
+
+    def k_for(self, dim: int) -> int:
+        return max(1, min(dim, int(round(self.frac * dim))))
+
+    def payload_nbytes(self, dim: int, dtype) -> int:
+        k = self.k_for(dim)
+        return HEADER_NBYTES + k * (_index_nbytes(dim) + np.dtype(dtype).itemsize)
+
+    def encode(self, delta, rng=None):
+        dim = delta.shape[0]
+        idx = topk_indices(delta, self.k_for(dim))
+        return WirePayload(
+            codec="topk", dim=dim, dtype=delta.dtype,
+            nbytes=self.payload_nbytes(dim, delta.dtype),
+            indices=idx, values=delta[idx].copy(),
+        )
+
+    def decode(self, payload):
+        out = np.zeros(payload.dim, dtype=payload.dtype)
+        out[payload.indices] = payload.values
+        return out
+
+
+class TopKQSGDCodec(Codec):
+    """Composition: sparsify to top-k, then quantize the kept values."""
+
+    stochastic = True
+
+    def __init__(
+        self, frac: float = 0.01, bits: int = 8, chunk: int = DEFAULT_CHUNK
+    ) -> None:
+        self._topk = TopKCodec(frac)
+        self._qsgd = QSGDCodec(bits=bits, chunk=chunk)
+        self.frac = frac
+        self.bits = bits
+        self.chunk = chunk
+        self.name = f"topk+qsgd{bits}"
+
+    def k_for(self, dim: int) -> int:
+        return self._topk.k_for(dim)
+
+    def payload_nbytes(self, dim: int, dtype) -> int:
+        _dtype_code(dtype)
+        k = self.k_for(dim)
+        body = k if self.bits == 8 else (k + 1) // 2
+        return (
+            HEADER_NBYTES + k * _index_nbytes(dim)
+            + 4 * _n_chunks(k, self.chunk) + body
+        )
+
+    def encode(self, delta, rng=None):
+        if rng is None:
+            raise ValueError(f"{self.name} rounds stochastically and needs an rng")
+        dim = delta.shape[0]
+        idx = topk_indices(delta, self.k_for(dim))
+        q, scales = _quantize(delta[idx], self.bits, self.chunk, rng)
+        return WirePayload(
+            codec="topk+qsgd", dim=dim, dtype=delta.dtype,
+            nbytes=self.payload_nbytes(dim, delta.dtype),
+            bits=self.bits, chunk=self.chunk, indices=idx, qvalues=q,
+            scales=scales,
+        )
+
+    def decode(self, payload):
+        out = np.zeros(payload.dim, dtype=payload.dtype)
+        out[payload.indices] = _dequantize(
+            payload.qvalues, payload.scales, payload.bits, payload.chunk,
+            payload.dtype,
+        )
+        return out
+
+
+def get_codec(
+    name: str,
+    topk_frac: float = 0.01,
+    quant_bits: int = 8,
+    chunk: int = DEFAULT_CHUNK,
+) -> Codec:
+    """Codec by config/CLI name.
+
+    Bare ``qsgd`` / ``topk+qsgd`` take their bit width from
+    ``quant_bits``; the suffixed forms (``qsgd4``, ``topk+qsgd8``) pin
+    it in the name.
+    """
+    if name not in WIRE_CODECS:
+        raise ValueError(f"codec must be one of {WIRE_CODECS}, got {name!r}")
+    if name == "dense":
+        return DenseCodec()
+    if name == "topk":
+        return TopKCodec(frac=topk_frac)
+    if name.startswith("topk+qsgd"):
+        suffix = name[len("topk+qsgd"):]
+        bits = int(suffix) if suffix else quant_bits
+        return TopKQSGDCodec(frac=topk_frac, bits=bits, chunk=chunk)
+    suffix = name[len("qsgd"):]
+    bits = int(suffix) if suffix else quant_bits
+    return QSGDCodec(bits=bits, chunk=chunk)

@@ -1,0 +1,207 @@
+"""The wire format: what actually moves between client and server.
+
+:class:`WireFormat` sits between training and aggregation in both
+engines.  For each upload it (1) forms the delta against the weights the
+client was dispatched (``update.weights - anchor``), (2) adds the
+client's carried error-feedback residual, (3) encodes with the
+configured codec — stochastic rounding drawn from the ``STREAM_WIRE``
+``(round|job, client)`` cell so no pool schedule can reorder draws —
+(4) decodes server-side into the dense delta every downstream consumer
+(robust aggregators, delta mixing, hierarchical folding) already
+expects, and (5) stores the new residual ``compensated - decoded`` for
+the client's next participating round.
+
+Byte accounting is exact and a-priori: ``upload_nbytes(dim, dtype)``
+equals ``len(payload.to_bytes())`` and depends only on the arena shape,
+so the async engine can charge bandwidth-accurate upload durations at
+dispatch time, before the payload exists.
+
+The ``dense`` codec short-circuits: the update object passes through
+untouched (only counters move), because ``anchor + (w - anchor)`` is not
+``w`` in floating point and a dense "compression" must not perturb
+numerics — a dense-codec run is bit-identical to a no-wire run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.wire.codecs import Codec, DenseCodec, WirePayload
+from repro.runtime.seeding import STREAM_WIRE, client_round_rng
+
+
+class ErrorFeedback:
+    """Per-client residual accumulators for lossy codecs.
+
+    The residual is whatever the codec failed to transmit last time the
+    client participated; it is added to the next delta before encoding
+    so the error is carried, not lost.  Keyed by client id — clients
+    participate in different rounds, so the state must survive between
+    them (and through checkpoint/resume).
+    """
+
+    def __init__(self) -> None:
+        self.residuals: dict[int, np.ndarray] = {}
+
+    def compensate(self, client_id: int, delta: np.ndarray) -> np.ndarray:
+        residual = self.residuals.get(client_id)
+        if residual is None:
+            return delta
+        return delta + residual.astype(delta.dtype)
+
+    def absorb(
+        self, client_id: int, compensated: np.ndarray, decoded: np.ndarray
+    ) -> None:
+        self.residuals[client_id] = compensated - decoded
+
+    def snapshot(self) -> dict:
+        return {cid: r.copy() for cid, r in self.residuals.items()}
+
+    def restore(self, state: dict) -> None:
+        self.residuals = {cid: np.asarray(r).copy() for cid, r in state.items()}
+
+
+class WireStats:
+    """Cumulative byte ledger for one run (survives checkpoint/resume)."""
+
+    def __init__(self) -> None:
+        self.bytes_up = 0
+        self.bytes_down = 0
+        self.dense_bytes_up = 0
+        self.uploads = 0
+        self.downloads = 0
+
+    def compression_ratio(self) -> float:
+        """Dense-float-baseline bytes over actual bytes for uploads."""
+        if self.bytes_up <= 0:
+            return 1.0
+        return self.dense_bytes_up / self.bytes_up
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+    def restore(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+class WireFormat:
+    """Client→server payload pipeline: delta → EF → encode → decode.
+
+    ``error_feedback`` applies only to lossy codecs; the dense codec
+    never accumulates residuals (there is no error to feed back).
+
+    Note on dropped sync uploads: error feedback is updated for *every*
+    transmitted upload, including ones a deadline policy later drops —
+    the client-side encoding already happened, and keeping the residual
+    update unconditional keeps it a pure function of the ``(round,
+    client)`` cell rather than of drop outcomes.
+    """
+
+    def __init__(
+        self, codec: Codec, base_seed: int, error_feedback: bool = True
+    ) -> None:
+        self.codec = codec
+        self.base_seed = base_seed
+        self.error_feedback = error_feedback
+        self.ef = ErrorFeedback()
+        self.stats = WireStats()
+
+    @property
+    def lossless(self) -> bool:
+        return isinstance(self.codec, DenseCodec)
+
+    # ------------------------------------------------------------------
+    # byte accounting (pure functions of the arena shape)
+    # ------------------------------------------------------------------
+
+    def upload_nbytes(self, dim: int, dtype) -> int:
+        return self.codec.payload_nbytes(dim, dtype)
+
+    def download_nbytes(self, dim: int, dtype) -> int:
+        """Server→client broadcast: always the dense global model."""
+        return DenseCodec().payload_nbytes(dim, dtype)
+
+    def record_downloads(self, n: int, dim: int, dtype) -> int:
+        """Charge ``n`` global-model broadcasts; returns bytes added."""
+        nbytes = self.download_nbytes(dim, dtype) * n
+        self.stats.bytes_down += nbytes
+        self.stats.downloads += n
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+
+    def transmit(
+        self, update: ClientUpdate, index: int, anchor: np.ndarray
+    ) -> tuple[ClientUpdate, int]:
+        """Push one upload through the wire.
+
+        ``index`` is the round index (sync) or job index (async) — the
+        time coordinate of the STREAM_WIRE cell.  ``anchor`` is the
+        global weight vector the client trained from.  Returns the
+        server-side reconstruction and the exact payload byte size.
+        """
+        dim = update.weights.shape[0]
+        dtype = update.weights.dtype
+        nbytes = self.upload_nbytes(dim, dtype)
+        self.stats.bytes_up += nbytes
+        self.stats.dense_bytes_up += self.download_nbytes(dim, dtype)
+        self.stats.uploads += 1
+        if self.lossless:
+            # Passthrough: reconstructing anchor + (w - anchor) would
+            # perturb numerics; dense runs must match no-wire runs.
+            return update, nbytes
+        delta = update.weights - anchor
+        if self.error_feedback:
+            compensated = self.ef.compensate(update.client_id, delta)
+        else:
+            compensated = delta
+        rng = None
+        if self.codec.stochastic:
+            rng = client_round_rng(
+                self.base_seed, index, update.client_id, STREAM_WIRE
+            )
+        payload = self.codec.encode(compensated, rng=rng)
+        decoded = self.codec.decode(payload)
+        if self.error_feedback:
+            self.ef.absorb(update.client_id, compensated, decoded)
+        reconstructed = ClientUpdate(
+            client_id=update.client_id,
+            weights=anchor + decoded,
+            loss_before=update.loss_before,
+            loss_after=update.loss_after,
+            n_samples=update.n_samples,
+        )
+        return reconstructed, nbytes
+
+    def encode_delta(
+        self, delta: np.ndarray, index: int, client_id: int
+    ) -> WirePayload:
+        """Encode a raw delta without EF/stats — for tests and tools."""
+        rng = None
+        if self.codec.stochastic:
+            rng = client_round_rng(self.base_seed, index, client_id, STREAM_WIRE)
+        return self.codec.encode(delta, rng=rng)
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "codec": self.codec.name,
+            "error_feedback": self.error_feedback,
+            "residuals": self.ef.snapshot(),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("codec") != self.codec.name:
+            raise ValueError(
+                f"checkpoint was taken with codec {state.get('codec')!r}, "
+                f"this run uses {self.codec.name!r}"
+            )
+        self.ef.restore(state.get("residuals", {}))
+        self.stats.restore(state.get("stats", {}))

@@ -1,0 +1,163 @@
+"""Legacy sparse-upload API, now backed by the wire subsystem.
+
+This is the original ``repro.fl.compression`` top-k module (Section
+3.5's compatibility claim), folded into :mod:`repro.fl.wire` when the
+codecs became first-class.  The dataclass-based API is kept verbatim —
+``SparseUpdate`` / ``compress_update`` / ``decompress_update`` /
+``compress_round`` / ``CompressedClients`` — because existing benches
+and tests use it, but new code should go through
+:class:`repro.fl.wire.WireFormat` with the ``topk`` codec, which adds
+error feedback, exact byte accounting, and engine integration.
+``repro.fl.compression`` itself is a deprecation shim re-exporting
+these names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.wire.codecs import topk_indices
+
+
+def _as_float_weights(global_weights) -> np.ndarray:
+    """Coerce a weight vector to a float dtype, preserving float32/float64."""
+    global_weights = np.asarray(global_weights)
+    if global_weights.dtype.kind != "f":
+        global_weights = global_weights.astype(float)
+    return global_weights
+
+
+@dataclass(frozen=True)
+class SparseUpdate:
+    """A compressed client upload: top-k delta coordinates + metadata."""
+
+    client_id: int
+    indices: np.ndarray  # int64, sorted, unique
+    values: np.ndarray   # deltas at those indices, in the substrate dtype
+    dim: int             # full model dimension
+    loss_before: float
+    loss_after: float
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.values.shape:
+            raise ValueError("indices and values must align")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= self.dim):
+            raise ValueError("sparse indices out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def compression_ratio(self) -> float:
+        """Dense floats divided by transmitted floats (indices count as one
+        float each, matching the usual accounting in [4, 18])."""
+        transmitted = 2 * max(self.nnz, 1)
+        return self.dim / transmitted
+
+
+def compress_update(
+    update: ClientUpdate, global_weights: np.ndarray, k: int
+) -> SparseUpdate:
+    """Top-k sparsify a dense client upload against the round's global model.
+
+    ``k`` is the number of coordinates kept; the remaining delta mass is
+    dropped (error feedback lives in :class:`repro.fl.wire.WireFormat`,
+    not in this legacy API).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    global_weights = _as_float_weights(global_weights)
+    if update.weights.shape != global_weights.shape:
+        raise ValueError("update and global weights have different dimensions")
+    delta = update.weights - global_weights
+    top = topk_indices(delta, k)
+    return SparseUpdate(
+        client_id=update.client_id,
+        indices=top,
+        values=delta[top].copy(),
+        dim=delta.shape[0],
+        loss_before=update.loss_before,
+        loss_after=update.loss_after,
+        n_samples=update.n_samples,
+    )
+
+
+def decompress_update(sparse: SparseUpdate, global_weights: np.ndarray) -> ClientUpdate:
+    """Reconstruct a dense :class:`ClientUpdate` the server can aggregate."""
+    global_weights = _as_float_weights(global_weights)
+    if global_weights.shape[0] != sparse.dim:
+        raise ValueError("global weights do not match the sparse update's dim")
+    weights = global_weights.copy()
+    weights[sparse.indices] += sparse.values
+    return ClientUpdate(
+        client_id=sparse.client_id,
+        weights=weights,
+        loss_before=sparse.loss_before,
+        loss_after=sparse.loss_after,
+        n_samples=sparse.n_samples,
+    )
+
+
+def compress_round(
+    updates: list[ClientUpdate], global_weights: np.ndarray, k: int
+) -> tuple[list[ClientUpdate], float]:
+    """Compress-then-decompress a whole round's uploads.
+
+    Returns the reconstructed updates (what the server would see after a
+    sparse-communication round) and the mean compression ratio.  This is
+    the hook the extension bench uses to measure FedDRL's accuracy under
+    lossy uploads.
+    """
+    sparse = [compress_update(u, global_weights, k) for u in updates]
+    restored = [decompress_update(s, global_weights) for s in sparse]
+    ratio = float(np.mean([s.compression_ratio() for s in sparse]))
+    return restored, ratio
+
+
+class CompressedClients:
+    """Wrap a client list so every upload passes through top-k compression.
+
+    Drop-in replacement for the plain client list in
+    :class:`~repro.fl.simulation.FederatedSimulation`: each element proxies
+    ``local_train`` and sparsifies the result against the broadcast
+    weights.
+    """
+
+    def __init__(self, clients: list, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._clients = clients
+        self.k = k
+        self.ratios: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def __getitem__(self, idx: int) -> "_CompressedClient":
+        return _CompressedClient(self._clients[idx], self)
+
+
+class _CompressedClient:
+    """Per-client proxy used by :class:`CompressedClients`."""
+
+    def __init__(self, client, pool: CompressedClients) -> None:
+        self._client = client
+        self._pool = pool
+
+    @property
+    def client_id(self) -> int:
+        return self._client.client_id
+
+    @property
+    def n_samples(self) -> int:
+        return self._client.n_samples
+
+    def local_train(self, model, global_weights, **kwargs) -> ClientUpdate:
+        dense = self._client.local_train(model, global_weights, **kwargs)
+        sparse = compress_update(dense, global_weights, self._pool.k)
+        self._pool.ratios.append(sparse.compression_ratio())
+        return decompress_update(sparse, global_weights)

@@ -24,9 +24,15 @@ from repro.fl.async_ import (
     STALENESS_POLICIES,
 )
 from repro.fl.robust import ATTACK_MODELS, ROBUST_AGGREGATORS
+from repro.fl.wire import QUANT_BITS, WIRE_CODECS
 from repro.fleet import AVAILABILITY_MODELS
 from repro.nn.dtypes import SUPPORTED_DTYPES
-from repro.runtime import BACKENDS, DEADLINE_POLICIES, LATENCY_MODELS
+from repro.runtime import (
+    BACKENDS,
+    BANDWIDTH_MODELS,
+    DEADLINE_POLICIES,
+    LATENCY_MODELS,
+)
 
 VALID_DATASETS = ("mnist", "fashion", "cifar100")
 VALID_DTYPES = SUPPORTED_DTYPES
@@ -53,6 +59,11 @@ VALID_AGGREGATORS = ROBUST_AGGREGATORS
 # (repro.fleet.scale).
 VALID_TOPOLOGIES = ("flat", "hier")
 VALID_FLEET_MODES = ("eager", "lazy")
+# Wire subsystem vocabularies (repro.fl.wire): upload codecs and the
+# bandwidth models that turn payload bytes into comm seconds; "none" =
+# fixed upload_s/download_s constants (the historical clock).
+VALID_CODECS = WIRE_CODECS
+VALID_BANDWIDTH_MODELS = ("none", *BANDWIDTH_MODELS)
 
 
 @dataclass(frozen=True)
@@ -215,6 +226,23 @@ class ExperimentConfig:
     checkpoint_path: str | None = None
     checkpoint_every: int = 1
     resume: str | None = None
+    # Wire-efficient uploads (repro.fl.wire): `codec` compresses the
+    # client→server delta ("dense" = uncompressed passthrough; topk /
+    # qsgd{4,8} / topk+qsgd{4,8} are lossy with per-client error-feedback
+    # residuals unless error_feedback=False).  `bandwidth_model` gives
+    # each client an up/down link (megabits per second) so the clock
+    # charges comm_s = payload_bytes / bandwidth instead of the fixed
+    # constants; "none" keeps the byte-blind historical clock.
+    # straggler_comm_slowdown decouples a straggler's link slowdown from
+    # its compute slowdown (None -> same factor, the legacy behavior).
+    codec: str = "dense"
+    topk_frac: float = 0.01
+    quant_bits: int = 8
+    error_feedback: bool = True
+    bandwidth_model: str = "none"
+    up_mbps: float = 1.0
+    down_mbps: float = 10.0
+    straggler_comm_slowdown: float | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in VALID_DATASETS:
@@ -267,6 +295,7 @@ class ExperimentConfig:
             self.deadline_s is not None
             or self.deadline_policy != "wait"
             or self.straggler_fraction > 0
+            or self.straggler_comm_slowdown is not None
         ):
             raise ValueError(
                 "deadline/straggler settings have no effect without a "
@@ -299,6 +328,7 @@ class ExperimentConfig:
         self._validate_robust()
         self._validate_faults()
         self._validate_scale_out()
+        self._validate_wire()
         if self.aggregation != "sync":
             if self.method == "singleset":
                 raise ValueError(
@@ -491,7 +521,42 @@ class ExperimentConfig:
                 "replay buffer and network state are not snapshotted yet"
             )
 
+    def _validate_wire(self) -> None:
+        if self.codec not in VALID_CODECS:
+            raise ValueError(f"codec must be one of {VALID_CODECS}")
+        if not 0.0 < self.topk_frac <= 1.0:
+            raise ValueError("topk_frac must be in (0, 1]")
+        if self.quant_bits not in QUANT_BITS:
+            raise ValueError(f"quant_bits must be one of {QUANT_BITS}")
+        if self.bandwidth_model not in VALID_BANDWIDTH_MODELS:
+            raise ValueError(
+                f"bandwidth_model must be one of {VALID_BANDWIDTH_MODELS}"
+            )
+        if self.up_mbps <= 0 or self.down_mbps <= 0:
+            raise ValueError("up_mbps/down_mbps must be positive")
+        if (
+            self.straggler_comm_slowdown is not None
+            and self.straggler_comm_slowdown < 1.0
+        ):
+            raise ValueError("straggler_comm_slowdown must be >= 1 when given")
+        if self.bandwidth_model != "none" and self.latency_model == "none":
+            raise ValueError(
+                "a bandwidth model drives the virtual clock's comm phases — "
+                "pick a latency_model, one of "
+                f"{tuple(m for m in VALID_LATENCY_MODELS if m != 'none')}"
+            )
+        if self.method == "singleset" and self.wire_active:
+            raise ValueError(
+                "singleset is centralized training — upload codecs and "
+                "bandwidth models apply to the federated engines only"
+            )
+
     # -- resolved views ------------------------------------------------------
+    @property
+    def wire_active(self) -> bool:
+        """True when uploads are compressed or bytes drive comm time."""
+        return self.codec != "dense" or self.bandwidth_model != "none"
+
     @property
     def faults_active(self) -> bool:
         """True when any fault-injection probability is positive."""

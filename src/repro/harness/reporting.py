@@ -54,6 +54,15 @@ def history_to_dict(history: History) -> dict:
         "total_rejected_updates": history.total_rejected(),
         "total_clipped_updates": history.total_clipped(),
         "total_malicious_aggregated": history.total_malicious_aggregated(),
+        # Wire payloads (zero/identity without a wire format).
+        "total_payload_bytes_up": history.total_bytes_up(),
+        "total_payload_bytes_down": history.total_bytes_down(),
+        "total_dense_bytes_up": history.total_dense_bytes_up(),
+        "wire_compression_ratio": history.wire_compression_ratio(),
+        "payload_bytes_series": [
+            [r, int(up), int(down)]
+            for r, up, down in history.payload_bytes_series()
+        ],
         # Async engine (empty/zero for synchronous runs).
         "mean_staleness": history.mean_staleness(),
         "events": [
@@ -67,6 +76,7 @@ def history_to_dict(history: History) -> dict:
                 "staleness": e.staleness,
                 "staleness_factor": float(e.staleness_factor),
                 "dropped": bool(e.dropped),
+                "payload_bytes": int(e.payload_bytes),
             }
             for e in history.events
         ],

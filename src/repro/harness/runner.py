@@ -18,6 +18,7 @@ from repro.fl.robust import AttackModel, RobustAggregator
 from repro.fl.simulation import FederatedSimulation, FLConfig, History
 from repro.fl.singleset import train_singleset
 from repro.fl.strategies import FedAvg, FedDRL, FedProx, Strategy
+from repro.fl.wire import WireFormat, get_codec
 from repro.fleet import FleetSimulator, get_availability_model
 from repro.harness.checkpoint import checkpoint_fingerprint, validate_resume
 from repro.harness.config import ExperimentConfig
@@ -30,6 +31,7 @@ from repro.runtime import (
     RetryPolicy,
     ThreadExecutor,
     VirtualClock,
+    get_bandwidth_model,
     get_latency_model,
     load_snapshot,
     make_executor,
@@ -226,6 +228,11 @@ def build_clock(cfg: ExperimentConfig) -> VirtualClock | None:
     """The virtual device clock, or None when ``latency_model="none"``."""
     if cfg.latency_model == "none":
         return None
+    bandwidth = None
+    if cfg.bandwidth_model != "none":
+        bandwidth = get_bandwidth_model(
+            cfg.bandwidth_model, up_mbps=cfg.up_mbps, down_mbps=cfg.down_mbps
+        )
     return VirtualClock(
         get_latency_model(cfg.latency_model),
         cfg.n_clients,
@@ -234,7 +241,25 @@ def build_clock(cfg: ExperimentConfig) -> VirtualClock | None:
         policy=cfg.deadline_policy,
         straggler_fraction=cfg.straggler_fraction,
         straggler_slowdown=cfg.straggler_slowdown,
+        bandwidth=bandwidth,
+        straggler_comm_slowdown=cfg.straggler_comm_slowdown,
     )
+
+
+def build_wire(cfg: ExperimentConfig) -> WireFormat | None:
+    """The wire format, or None when nothing about uploads is configured.
+
+    Built for the dense codec too when a bandwidth model is active: the
+    clock needs payload bytes to charge ``bytes / bandwidth`` comm time,
+    and dense transmits are a counting-only passthrough (bit-identical
+    updates).
+    """
+    if not cfg.wire_active:
+        return None
+    codec = get_codec(
+        cfg.codec, topk_frac=cfg.topk_frac, quant_bits=cfg.quant_bits
+    )
+    return WireFormat(codec, cfg.seed, error_feedback=cfg.error_feedback)
 
 
 def build_fleet(cfg: ExperimentConfig, clients) -> FleetSimulator | None:
@@ -354,6 +379,7 @@ def build_simulation(
         executor = build_executor(cfg, clients, model_factory)
     fleet = build_fleet(cfg, clients)
     faults = build_fault_plan(cfg)
+    wire = build_wire(cfg)
     if cfg.aggregation != "sync":
         sim = AsyncFederatedServer(
             clients, test_set, model_factory, strategy, build_fl_config(cfg),
@@ -372,13 +398,14 @@ def build_simulation(
             faults=faults,
             topology=cfg.topology,
             n_edges=cfg.n_edges,
+            wire=wire,
         )
     else:
         sim = FederatedSimulation(
             clients, test_set, model_factory, strategy, build_fl_config(cfg),
             executor=executor, clock=build_clock(cfg), fleet=fleet,
             tracer=tracer, attack=attack, defense=defense, faults=faults,
-            topology=cfg.topology, n_edges=cfg.n_edges,
+            topology=cfg.topology, n_edges=cfg.n_edges, wire=wire,
         )
     # The engine may have built its own serial default executor; the retry
     # policy applies to whichever executor ended up inside.
@@ -459,6 +486,17 @@ def _run_experiment(cfg: ExperimentConfig, start: float) -> ExperimentResult:
             })
             if cfg.aggregation == "sync":
                 extra["mean_online"] = history.mean_online()
+    if cfg.wire_active:
+        extra = dict(extra or {})
+        extra["wire"] = {
+            "codec": cfg.codec,
+            "error_feedback": cfg.error_feedback,
+            "bandwidth_model": cfg.bandwidth_model,
+            "bytes_up": history.total_bytes_up(),
+            "bytes_down": history.total_bytes_down(),
+            "dense_bytes_up": history.total_dense_bytes_up(),
+            "compression_ratio": history.wire_compression_ratio(),
+        }
     if cfg.robust_active:
         extra = dict(extra or {})
         extra.update({

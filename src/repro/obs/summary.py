@@ -37,6 +37,7 @@ def summarize_records(header: dict, records: list[dict]) -> dict:
     total_sim = 0.0
     queue_wait = 0.0
     device_sim: dict[str, float] = defaultdict(float)
+    device_bytes: dict[str, int] = defaultdict(int)
     wall_by_name: dict[str, dict] = {}
     instants: dict[str, int] = defaultdict(int)
     worker_tracks: set[str] = set()
@@ -69,6 +70,9 @@ def summarize_records(header: dict, records: list[dict]) -> dict:
                 queue_wait += sim_dur
             else:
                 device_sim[cat] += sim_dur
+                nbytes = rec.get("args", {}).get("bytes")
+                if nbytes is not None:
+                    device_bytes[rec["name"]] += int(nbytes)
         if wall_dur is not None:
             entry = wall_by_name.setdefault(
                 rec["name"], {"cat": cat, "count": 0, "wall_s": 0.0}
@@ -86,6 +90,7 @@ def summarize_records(header: dict, records: list[dict]) -> dict:
         "total_sim_s": total_sim,
         "queue_wait_s": queue_wait,
         "device_sim_s": dict(sorted(device_sim.items())),
+        "device_bytes": dict(sorted(device_bytes.items())),
         "wall_spans": dict(sorted(wall_by_name.items())),
         "instants": dict(sorted(instants.items())),
         "workers_seen": len(worker_tracks),
@@ -127,6 +132,12 @@ def format_summary(summary: dict) -> str:
         for cat, secs in device.items():
             pct = 100.0 * secs / dev_total if dev_total else 0.0
             lines.append(f"  {cat:<26}  {secs:10.3f} s  ({pct:5.1f}%)")
+    dev_bytes = summary.get("device_bytes", {})
+    if dev_bytes:
+        lines.append("")
+        lines.append("wire payload (simulated bytes moved per phase):")
+        for name, nbytes in dev_bytes.items():
+            lines.append(f"  {name:<26}  {nbytes:>14,} B")
     wall = summary["wall_spans"]
     server_wall = {
         name: e for name, e in wall.items()

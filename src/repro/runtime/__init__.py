@@ -15,15 +15,21 @@ from repro.runtime.checkpoint import (
     save_snapshot,
 )
 from repro.runtime.clock import (
+    BANDWIDTH_MODELS,
     DEADLINE_POLICIES,
     LATENCY_MODELS,
+    BandwidthModel,
     DeviceProfile,
+    HomogeneousBandwidth,
     HomogeneousLatency,
     LatencyModel,
+    LogNormalBandwidth,
     LogNormalLatency,
     RoundTiming,
+    UniformBandwidth,
     UniformLatency,
     VirtualClock,
+    get_bandwidth_model,
     get_latency_model,
     n_local_batches,
 )
@@ -51,12 +57,17 @@ from repro.runtime.seeding import client_round_rng, client_round_seed
 
 __all__ = [
     "BACKENDS",
+    "BANDWIDTH_MODELS",
     "DEADLINE_POLICIES",
     "FAULT_KINDS",
     "LATENCY_MODELS",
     "SNAPSHOT_SCHEMA",
+    "BandwidthModel",
     "Checkpointer",
     "DeviceProfile",
+    "HomogeneousBandwidth",
+    "LogNormalBandwidth",
+    "UniformBandwidth",
     "Executor",
     "FaultInjected",
     "FaultPlan",
@@ -78,6 +89,7 @@ __all__ = [
     "VirtualClock",
     "client_round_rng",
     "client_round_seed",
+    "get_bandwidth_model",
     "get_latency_model",
     "load_snapshot",
     "make_executor",

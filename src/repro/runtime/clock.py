@@ -19,23 +19,40 @@ every execution backend and worker count.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.runtime.seeding import STREAM_LATENCY, client_round_rng
+from repro.runtime.seeding import (
+    STREAM_LATENCY,
+    STREAM_WIRE,
+    client_round_rng,
+    client_static_rng,
+)
 
 LATENCY_MODELS = ("homogeneous", "uniform", "lognormal")
+BANDWIDTH_MODELS = ("homogeneous", "uniform", "lognormal")
 DEADLINE_POLICIES = ("wait", "drop")
 
 
 @dataclass(frozen=True)
 class DeviceProfile:
-    """Static latency characteristics of one simulated device."""
+    """Static latency characteristics of one simulated device.
+
+    ``up_bps`` / ``down_bps`` are optional link rates (bytes per
+    second).  When a rate is present *and* the caller supplies a payload
+    size, the corresponding comm phase is ``bytes / rate`` instead of
+    the fixed ``upload_s`` / ``download_s`` constant — the wire
+    subsystem's byte accounting then drives simulated comm time.  With
+    no rates (the default) the constants apply and all existing timing
+    is unchanged.
+    """
 
     compute_s_per_batch: float
     upload_s: float
     download_s: float
+    up_bps: float | None = None
+    down_bps: float | None = None
 
     def round_seconds(self, n_batches: int) -> float:
         """Deterministic (jitter-free) time for one round of local work."""
@@ -142,6 +159,99 @@ def get_latency_model(name: str, **kwargs) -> LatencyModel:
     return models[name](**kwargs)
 
 
+class BandwidthModel:
+    """Draws one ``(up_bps, down_bps)`` link per client.
+
+    Link quality is a *device trait*, so each client's draw comes from
+    its static ``(client, STREAM_WIRE)`` RNG cell — a pure function of
+    the experiment seed and the client id, independent of how many
+    clients exist or the order profiles are built in.
+    """
+
+    name: str = "base"
+
+    def __init__(self, up_bps: float, down_bps: float) -> None:
+        if up_bps <= 0 or down_bps <= 0:
+            raise ValueError("bandwidth rates must be positive")
+        self.up_bps = up_bps
+        self.down_bps = down_bps
+
+    def _factor(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def rates(self, n_clients: int, base_seed: int) -> list[tuple[float, float]]:
+        out = []
+        for cid in range(n_clients):
+            f = self._factor(client_static_rng(base_seed, cid, STREAM_WIRE))
+            out.append((self.up_bps * f, self.down_bps * f))
+        return out
+
+
+class HomogeneousBandwidth(BandwidthModel):
+    """Every client gets the same link — isolates payload-size effects."""
+
+    name = "homogeneous"
+
+    def _factor(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+
+class UniformBandwidth(BandwidthModel):
+    """Link quality spread uniformly over a bounded multiplier range.
+
+    One factor scales both directions: a client on a bad link is slow
+    both ways.
+    """
+
+    name = "uniform"
+
+    def __init__(
+        self, up_bps: float, down_bps: float, low: float = 0.5, high: float = 2.0
+    ) -> None:
+        super().__init__(up_bps, down_bps)
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def _factor(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class LogNormalBandwidth(BandwidthModel):
+    """Heavy-tailed link quality — a few clients on very poor links."""
+
+    name = "lognormal"
+
+    def __init__(self, up_bps: float, down_bps: float, sigma: float = 0.5) -> None:
+        super().__init__(up_bps, down_bps)
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma = sigma
+
+    def _factor(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(mean=0.0, sigma=self.sigma))
+
+
+def get_bandwidth_model(
+    name: str, up_mbps: float = 1.0, down_mbps: float = 10.0, **kwargs
+) -> BandwidthModel:
+    """Bandwidth model by CLI name; rates given in megabits per second."""
+    models = {
+        "homogeneous": HomogeneousBandwidth,
+        "uniform": UniformBandwidth,
+        "lognormal": LogNormalBandwidth,
+    }
+    if name not in models:
+        raise ValueError(
+            f"bandwidth model must be one of {BANDWIDTH_MODELS}, got {name!r}"
+        )
+    if up_mbps <= 0 or down_mbps <= 0:
+        raise ValueError("bandwidth rates must be positive")
+    # Mbit/s -> bytes/s: 1e6 bits / 8.
+    return models[name](up_bps=up_mbps * 125_000.0, down_bps=down_mbps * 125_000.0, **kwargs)
+
+
 @dataclass
 class RoundTiming:
     """Simulated timing outcome of one round."""
@@ -174,6 +284,8 @@ class VirtualClock:
         straggler_fraction: float = 0.0,
         straggler_slowdown: float = 8.0,
         jitter_sigma: float = 0.05,
+        bandwidth: BandwidthModel | None = None,
+        straggler_comm_slowdown: float | None = None,
     ) -> None:
         if policy not in DEADLINE_POLICIES:
             raise ValueError(f"policy must be one of {DEADLINE_POLICIES}, got {policy!r}")
@@ -181,6 +293,8 @@ class VirtualClock:
             raise ValueError("straggler_fraction must be in [0, 1]")
         if straggler_slowdown < 1.0:
             raise ValueError("straggler_slowdown must be >= 1")
+        if straggler_comm_slowdown is not None and straggler_comm_slowdown < 1.0:
+            raise ValueError("straggler_comm_slowdown must be >= 1")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
         if policy == "drop" and deadline_s is None:
@@ -188,11 +302,30 @@ class VirtualClock:
         rng = np.random.default_rng(seed)
         self.seed = seed
         self.profiles = latency_model.profiles(n_clients, rng)
+        if bandwidth is not None:
+            # Attach per-client link rates without disturbing the latency
+            # model's own draw sequence (rates come from static RNG cells,
+            # not from `rng`), so adding bandwidth never reshuffles the
+            # device profiles or the straggler choice below.
+            self.profiles = [
+                replace(p, up_bps=up, down_bps=down)
+                for p, (up, down) in zip(
+                    self.profiles, bandwidth.rates(n_clients, seed)
+                )
+            ]
         n_stragglers = int(round(straggler_fraction * n_clients))
         self.stragglers = set(
             rng.choice(n_clients, size=n_stragglers, replace=False).tolist()
         ) if n_stragglers else set()
         self.straggler_slowdown = straggler_slowdown
+        # Comm and compute can now be slowed independently (a bandwidth
+        # straggler vs a CPU straggler).  Defaulting the comm factor to the
+        # compute factor keeps the legacy whole-round multiplication — and
+        # its exact floating-point evaluation order — when unset.
+        self.straggler_comm_slowdown = (
+            straggler_slowdown if straggler_comm_slowdown is None
+            else straggler_comm_slowdown
+        )
         self.deadline_s = deadline_s
         self.policy = policy
         self.jitter_sigma = jitter_sigma
@@ -217,43 +350,111 @@ class VirtualClock:
             raise ValueError("cannot charge negative recovery time")
         self.fault_recovery_s += seconds
 
-    def client_time(self, round_idx: int, client_id: int, n_batches: int) -> float:
+    def _phases(
+        self,
+        client_id: int,
+        n_batches: int,
+        upload_bytes: int | None = None,
+        download_bytes: int | None = None,
+    ) -> tuple[float, float, float]:
+        """Raw (unjittered, un-slowed) phase times for one client's round.
+
+        Comm phases are ``bytes / rate`` when both a payload size and a
+        link rate exist; otherwise the profile's fixed constants — so
+        runs without the wire subsystem (or without a bandwidth model)
+        are byte-blind exactly as before.
+        """
+        profile = self.profiles[client_id]
+        download = profile.download_s
+        upload = profile.upload_s
+        if download_bytes is not None and profile.down_bps is not None:
+            download = download_bytes / profile.down_bps
+        if upload_bytes is not None and profile.up_bps is not None:
+            upload = upload_bytes / profile.up_bps
+        return download, n_batches * profile.compute_s_per_batch, upload
+
+    def client_time(
+        self,
+        round_idx: int,
+        client_id: int,
+        n_batches: int,
+        upload_bytes: int | None = None,
+        download_bytes: int | None = None,
+    ) -> float:
         """Simulated seconds for one client's round, jitter included."""
-        base = self.profiles[client_id].round_seconds(n_batches)
+        download, compute, upload = self._phases(
+            client_id, n_batches, upload_bytes, download_bytes
+        )
         if client_id in self.stragglers:
-            base *= self.straggler_slowdown
+            if self.straggler_comm_slowdown == self.straggler_slowdown:
+                # Equal factors: multiply the phase *sum*, reproducing the
+                # legacy whole-round evaluation order bit for bit.
+                base = (download + compute + upload) * self.straggler_slowdown
+            else:
+                base = (
+                    download * self.straggler_comm_slowdown
+                    + compute * self.straggler_slowdown
+                    + upload * self.straggler_comm_slowdown
+                )
+        else:
+            # Same left-to-right sum as DeviceProfile.round_seconds.
+            base = download + compute + upload
         if self.jitter_sigma > 0:
             jrng = client_round_rng(self.seed, round_idx, client_id, STREAM_LATENCY)
             base *= float(jrng.lognormal(mean=0.0, sigma=self.jitter_sigma))
         return base
 
     def decompose(
-        self, client_id: int, n_batches: int, total_s: float
+        self,
+        client_id: int,
+        n_batches: int,
+        total_s: float,
+        upload_bytes: int | None = None,
+        download_bytes: int | None = None,
     ) -> tuple[float, float, float]:
         """Split a client's simulated round time into its phases.
 
         Returns ``(download_s, compute_s, upload_s)`` scaled so they sum
-        to ``total_s`` (the jittered/straggler-multiplied actual time):
-        jitter and slowdown apply multiplicatively to the whole round, so
-        each phase keeps its share of the device profile.  Pure
+        to ``total_s`` (the jittered/straggler-multiplied actual time).
+        When comm and compute straggler factors differ, each phase first
+        carries its own factor so the split matches what ``client_time``
+        actually charged; with equal factors the whole round scaled
+        uniformly and each phase keeps its profile share.  Pure
         arithmetic — no RNG draws — so tracing a round never perturbs
         the timing streams.
         """
-        profile = self.profiles[client_id]
-        base = profile.round_seconds(n_batches)
+        download, compute, upload = self._phases(
+            client_id, n_batches, upload_bytes, download_bytes
+        )
+        if (
+            client_id in self.stragglers
+            and self.straggler_comm_slowdown != self.straggler_slowdown
+        ):
+            download *= self.straggler_comm_slowdown
+            upload *= self.straggler_comm_slowdown
+            compute *= self.straggler_slowdown
+        base = download + compute + upload
         if base <= 0.0:
             return 0.0, total_s, 0.0
         scale = total_s / base
-        download = profile.download_s * scale
-        upload = profile.upload_s * scale
+        download *= scale
+        upload *= scale
         return download, total_s - download - upload, upload
 
     def observe_round(
-        self, round_idx: int, participants: list[int], n_batches: dict[int, int]
+        self,
+        round_idx: int,
+        participants: list[int],
+        n_batches: dict[int, int],
+        upload_bytes: int | None = None,
+        download_bytes: int | None = None,
     ) -> RoundTiming:
         """Record one round: per-client times, deadline policy, makespan."""
         times = {
-            cid: self.client_time(round_idx, cid, n_batches[cid]) for cid in participants
+            cid: self.client_time(
+                round_idx, cid, n_batches[cid], upload_bytes, download_bytes
+            )
+            for cid in participants
         }
         dropped: list[int] = []
         if self.policy == "drop":

@@ -44,6 +44,13 @@ STREAM_MALICIOUS = 7
 # re-trains with its own untouched STREAM_BATCHES / STREAM_FORWARD
 # streams — recovery is bit-identical to never having faulted.
 STREAM_FAULTS = 8
+# Wire codecs (repro.fl.wire): stochastic quantization rounding for one
+# (round|job, client) upload.  Drawn parent-side, after the executor
+# returns, so the draw order can never depend on a pool's completion
+# schedule.  The *static* two-element form of this stream seeds each
+# client's bandwidth draw in repro.runtime.clock (link quality is a
+# device trait, not a per-round event).
+STREAM_WIRE = 9
 
 
 def client_round_seed(
